@@ -1,0 +1,111 @@
+"""Figure 7: scheme comparison in the small-scale network.
+
+Four benchmarks, one per subplot:
+
+* 7(a) transaction success ratio vs channel size,
+* 7(b) transaction success ratio vs transaction size,
+* 7(c) transaction success ratio vs price-update interval tau,
+* 7(d) normalized throughput per scheme at the default operating point.
+"""
+
+import pytest
+
+from .conftest import (
+    SMALL_NODES,
+    all_schemes,
+    run_comparison,
+    save_table,
+    splicer_scheme,
+    sweep_rows,
+)
+from repro.analysis.tables import format_table, result_table
+from repro.baselines import A2LScheme, SpiderScheme
+
+CHANNEL_SCALES = [0.5, 1.0, 2.0]
+VALUE_SCALES = [0.5, 1.0, 2.0]
+UPDATE_INTERVALS = [0.1, 0.2, 0.4]
+
+
+def _sanity(result):
+    for name in result.schemes():
+        metrics = result.scheme(name)
+        assert 0.0 <= metrics.success_ratio <= 1.0
+        assert 0.0 <= metrics.normalized_throughput <= 1.0
+
+
+@pytest.mark.benchmark(group="fig7-small-scale")
+def test_fig7a_channel_size(once):
+    """TSR vs channel size: every scheme improves with bigger channels; Splicer leads."""
+
+    def run():
+        return {scale: run_comparison(SMALL_NODES, channel_scale=scale) for scale in CHANNEL_SCALES}
+
+    results = once(run)
+    rows = sweep_rows("channel_scale", CHANNEL_SCALES, results, "success_ratio")
+    save_table("fig7a_channel_size", "Figure 7(a): TSR vs channel size (small scale)", format_table(rows))
+    for result in results.values():
+        _sanity(result)
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+    # Larger channels never hurt Splicer's success ratio (monotone trend).
+    series = [results[scale].scheme("splicer").success_ratio for scale in CHANNEL_SCALES]
+    assert series[-1] >= series[0] - 0.05
+
+
+@pytest.mark.benchmark(group="fig7-small-scale")
+def test_fig7b_transaction_size(once):
+    """TSR vs transaction size: success degrades as payments grow; Splicer degrades least."""
+
+    def run():
+        return {scale: run_comparison(SMALL_NODES, value_scale=scale) for scale in VALUE_SCALES}
+
+    results = once(run)
+    rows = sweep_rows("value_scale", VALUE_SCALES, results, "success_ratio")
+    save_table(
+        "fig7b_transaction_size", "Figure 7(b): TSR vs transaction size (small scale)", format_table(rows)
+    )
+    for result in results.values():
+        _sanity(result)
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+    splicer = [results[s].scheme("splicer").success_ratio for s in VALUE_SCALES]
+    assert splicer[0] >= splicer[-1] - 0.05  # bigger payments are not easier
+
+
+@pytest.mark.benchmark(group="fig7-small-scale")
+def test_fig7c_update_time(once):
+    """TSR vs update interval tau for the rate-based schemes (plus A2L reference)."""
+
+    def run():
+        results = {}
+        for tau in UPDATE_INTERVALS:
+            schemes = [splicer_scheme(update_interval=tau), SpiderScheme(), A2LScheme()]
+            results[tau] = run_comparison(SMALL_NODES, update_interval=tau, schemes=schemes)
+        return results
+
+    results = once(run)
+    rows = sweep_rows("update_interval", UPDATE_INTERVALS, results, "success_ratio")
+    save_table("fig7c_update_time", "Figure 7(c): TSR vs update time (small scale)", format_table(rows))
+    for result in results.values():
+        _sanity(result)
+        # Splicer stays ahead of the single-hub PCH at every update interval.
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+
+
+@pytest.mark.benchmark(group="fig7-small-scale")
+def test_fig7d_throughput(once):
+    """Normalized throughput per scheme at the default operating point."""
+
+    def run():
+        return run_comparison(SMALL_NODES)
+
+    result = once(run)
+    save_table(
+        "fig7d_throughput",
+        "Figure 7(d): normalized throughput by scheme (small scale)",
+        result_table(result),
+    )
+    _sanity(result)
+    splicer = result.scheme("splicer").normalized_throughput
+    others = [
+        result.scheme(name).normalized_throughput for name in result.schemes() if name != "splicer"
+    ]
+    assert splicer >= sum(others) / len(others)

@@ -1,0 +1,116 @@
+"""Figure 8: scheme comparison in the large-scale network.
+
+Identical structure to figure 7 but on the larger topology.  The paper uses
+3000 nodes; the default benchmark size is laptop-scale (see
+``SPLICER_BENCH_LARGE_NODES``) -- the comparison shape, not the absolute
+scale, is what is being reproduced here.
+"""
+
+import pytest
+
+from .conftest import (
+    LARGE_NODES,
+    run_comparison,
+    save_table,
+    splicer_scheme,
+    sweep_rows,
+)
+from repro.analysis.tables import format_table, result_table
+from repro.baselines import A2LScheme, SpiderScheme
+
+CHANNEL_SCALES = [0.5, 1.0, 2.0]
+VALUE_SCALES = [0.5, 1.0, 2.0]
+UPDATE_INTERVALS = [0.1, 0.2, 0.4]
+LARGE_ARRIVAL_RATE = None  # keep the same offered load per node as figure 7
+
+
+def _sanity(result):
+    for name in result.schemes():
+        metrics = result.scheme(name)
+        assert 0.0 <= metrics.success_ratio <= 1.0
+        assert 0.0 <= metrics.normalized_throughput <= 1.0
+
+
+@pytest.mark.benchmark(group="fig8-large-scale")
+def test_fig8a_channel_size(once):
+    """TSR vs channel size, large scale."""
+
+    def run():
+        return {
+            scale: run_comparison(LARGE_NODES, channel_scale=scale, arrival_rate=LARGE_ARRIVAL_RATE)
+            for scale in CHANNEL_SCALES
+        }
+
+    results = once(run)
+    rows = sweep_rows("channel_scale", CHANNEL_SCALES, results, "success_ratio")
+    save_table("fig8a_channel_size", "Figure 8(a): TSR vs channel size (large scale)", format_table(rows))
+    for result in results.values():
+        _sanity(result)
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+
+
+@pytest.mark.benchmark(group="fig8-large-scale")
+def test_fig8b_transaction_size(once):
+    """TSR vs transaction size, large scale."""
+
+    def run():
+        return {
+            scale: run_comparison(LARGE_NODES, value_scale=scale, arrival_rate=LARGE_ARRIVAL_RATE)
+            for scale in VALUE_SCALES
+        }
+
+    results = once(run)
+    rows = sweep_rows("value_scale", VALUE_SCALES, results, "success_ratio")
+    save_table(
+        "fig8b_transaction_size", "Figure 8(b): TSR vs transaction size (large scale)", format_table(rows)
+    )
+    for result in results.values():
+        _sanity(result)
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+
+
+@pytest.mark.benchmark(group="fig8-large-scale")
+def test_fig8c_update_time(once):
+    """TSR vs update interval tau, large scale."""
+
+    def run():
+        results = {}
+        for tau in UPDATE_INTERVALS:
+            schemes = [splicer_scheme(update_interval=tau), SpiderScheme(), A2LScheme()]
+            results[tau] = run_comparison(
+                LARGE_NODES, update_interval=tau, arrival_rate=LARGE_ARRIVAL_RATE, schemes=schemes
+            )
+        return results
+
+    results = once(run)
+    rows = sweep_rows("update_interval", UPDATE_INTERVALS, results, "success_ratio")
+    save_table("fig8c_update_time", "Figure 8(c): TSR vs update time (large scale)", format_table(rows))
+    for result in results.values():
+        _sanity(result)
+        assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio
+
+
+@pytest.mark.benchmark(group="fig8-large-scale")
+def test_fig8d_throughput(once):
+    """Normalized throughput per scheme, large scale.
+
+    The paper's observation that Splicer's margin grows with scale (source
+    routing struggles as senders must handle a larger topology) is checked
+    against Spider specifically.
+    """
+
+    def run():
+        return run_comparison(LARGE_NODES, arrival_rate=LARGE_ARRIVAL_RATE)
+
+    result = once(run)
+    save_table(
+        "fig8d_throughput",
+        "Figure 8(d): normalized throughput by scheme (large scale)",
+        result_table(result),
+    )
+    _sanity(result)
+    assert (
+        result.scheme("splicer").normalized_throughput
+        >= result.scheme("spider").normalized_throughput
+    )
+    assert result.scheme("splicer").success_ratio >= result.scheme("a2l").success_ratio

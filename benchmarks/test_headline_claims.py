@@ -1,0 +1,60 @@
+"""Section V-B headline claims.
+
+The paper summarizes its evaluation as: Splicer improves the transaction
+success ratio by ~42% and the normalized throughput by ~29.3% on average
+over the four comparison schemes.  This benchmark recomputes those averages
+over both network scales in the simulator and checks the direction (positive
+average improvement on both metrics); the exact percentages depend on the
+testbed and are reported, not asserted.
+"""
+
+import pytest
+
+from .conftest import LARGE_NODES, SMALL_NODES, run_comparison, save_table
+from repro.analysis.stats import mean_improvement
+from repro.analysis.tables import format_table
+
+BASELINES = ["spider", "flash", "landmark", "a2l"]
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_improvements(once):
+    """Average TSR / throughput improvement of Splicer over the four baselines."""
+
+    def run():
+        return {
+            "small": run_comparison(SMALL_NODES, seed=21),
+            "large": run_comparison(LARGE_NODES, seed=23),
+        }
+
+    results = once(run)
+    rows = []
+    tsr_improvements = []
+    throughput_improvements = []
+    for scale, result in results.items():
+        splicer_tsr = [result.scheme("splicer").success_ratio]
+        splicer_thr = [result.scheme("splicer").normalized_throughput]
+        baselines_tsr = {name: [result.scheme(name).success_ratio] for name in BASELINES}
+        baselines_thr = {name: [result.scheme(name).normalized_throughput] for name in BASELINES}
+        tsr_gain = mean_improvement(splicer_tsr, baselines_tsr)
+        thr_gain = mean_improvement(splicer_thr, baselines_thr)
+        tsr_improvements.append(tsr_gain)
+        throughput_improvements.append(thr_gain)
+        rows.append(
+            {
+                "scale": scale,
+                "splicer_tsr": round(splicer_tsr[0], 4),
+                "mean_tsr_gain_%": round(tsr_gain, 1),
+                "splicer_throughput": round(splicer_thr[0], 4),
+                "mean_throughput_gain_%": round(thr_gain, 1),
+            }
+        )
+    save_table(
+        "headline_claims",
+        "Headline claims: average improvement of Splicer over the four baselines "
+        "(paper: +42% TSR, +29.3% throughput)",
+        format_table(rows),
+    )
+    # Direction of the claim: positive average improvement on both metrics.
+    assert all(gain > 0.0 for gain in tsr_improvements)
+    assert all(gain > 0.0 for gain in throughput_improvements)

@@ -1,0 +1,97 @@
+"""Table II: the influence of routing design choices on Splicer's TSR.
+
+Three benchmarks, one per column group of the table:
+
+* path type   -- KSP vs heuristic vs edge-disjoint widest vs edge-disjoint shortest,
+* path number -- 1 / 3 / 5 / 7 edge-disjoint widest paths,
+* scheduling  -- FIFO / LIFO / SPF / EDF waiting-queue scheduling.
+
+The paper runs each choice at both network scales; the benchmark uses the
+small-scale topology by default (set ``SPLICER_BENCH_TABLE2_LARGE=1`` to add
+the large-scale rows) because the qualitative ranking is scale-independent
+in this simulator.
+"""
+
+import os
+
+import pytest
+
+from .conftest import LARGE_NODES, SMALL_NODES, build_network, build_workload, save_table, splicer_scheme
+from repro.analysis.tables import format_table
+from repro.simulator.experiment import ExperimentRunner
+
+RUN_LARGE = os.environ.get("SPLICER_BENCH_TABLE2_LARGE", "0") == "1"
+SCALES = {"small": SMALL_NODES, "large": LARGE_NODES} if RUN_LARGE else {"small": SMALL_NODES}
+
+PATH_TYPES = ["ksp", "heuristic", "edw", "eds"]
+PATH_NUMBERS = [1, 3, 5, 7]
+SCHEDULERS = ["fifo", "lifo", "spf", "edf"]
+
+
+def _tsr_for(scale_nodes: int, **router_overrides) -> float:
+    network = build_network(scale_nodes, seed=13)
+    workload = build_workload(network, seed=14)
+    runner = ExperimentRunner(network, workload, step_size=0.1, drain_time=4.0)
+    metrics = runner.run_single(splicer_scheme(**router_overrides))
+    return metrics.success_ratio
+
+
+@pytest.mark.benchmark(group="table2-routing-choices")
+def test_path_type(once):
+    """EDW (the widest-path choice) is the strongest path type."""
+
+    def run():
+        rows = []
+        for scale_name, nodes in SCALES.items():
+            row = {"scale": scale_name}
+            for path_type in PATH_TYPES:
+                row[path_type] = round(_tsr_for(nodes, path_type=path_type), 4)
+            rows.append(row)
+        return rows
+
+    rows = once(run)
+    save_table("table2_path_type", "Table II: TSR by path type", format_table(rows))
+    for row in rows:
+        assert all(0.0 <= row[p] <= 1.0 for p in PATH_TYPES)
+        # The widest-path family exploits the heavy-tailed channel sizes at
+        # least as well as plain shortest paths.
+        assert row["edw"] >= row["ksp"] - 0.05
+
+
+@pytest.mark.benchmark(group="table2-routing-choices")
+def test_path_number(once):
+    """TSR improves with more paths and saturates around the paper's k = 5."""
+
+    def run():
+        rows = []
+        for scale_name, nodes in SCALES.items():
+            row = {"scale": scale_name}
+            for count in PATH_NUMBERS:
+                row[str(count)] = round(_tsr_for(nodes, path_count=count), 4)
+            rows.append(row)
+        return rows
+
+    rows = once(run)
+    save_table("table2_path_number", "Table II: TSR by number of EDW paths", format_table(rows))
+    for row in rows:
+        assert row["5"] >= row["1"]
+
+
+@pytest.mark.benchmark(group="table2-routing-choices")
+def test_scheduling(once):
+    """LIFO queue scheduling leads the four policies (as in the paper)."""
+
+    def run():
+        rows = []
+        for scale_name, nodes in SCALES.items():
+            row = {"scale": scale_name}
+            for scheduler in SCHEDULERS:
+                row[scheduler] = round(_tsr_for(nodes, scheduler=scheduler), 4)
+            rows.append(row)
+        return rows
+
+    rows = once(run)
+    save_table("table2_scheduling", "Table II: TSR by queue scheduling policy", format_table(rows))
+    for row in rows:
+        best = max(row[s] for s in SCHEDULERS)
+        assert row["lifo"] >= best - 0.08

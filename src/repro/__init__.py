@@ -1,0 +1,42 @@
+"""Splicer reproduction: optimal PCH placement and deadlock-free routing.
+
+This package reproduces the system described in "Optimal Hub Placement and
+Deadlock-Free Routing for Payment Channel Network Scalability" (ICDCS 2023).
+It contains:
+
+* :mod:`repro.topology` -- payment channel network graph substrate.
+* :mod:`repro.placement` -- the PCH placement optimization (MILP for
+  small-scale networks, supermodular double-greedy for large-scale).
+* :mod:`repro.routing` -- the rate-based, deadlock-free routing protocol.
+* :mod:`repro.core` -- the Splicer system tying placement and routing together.
+* :mod:`repro.baselines` -- Spider, Flash, landmark routing, A2L and
+  shortest-path comparison schemes.
+* :mod:`repro.simulator` -- a discrete-event PCN simulator used by the
+  evaluation harness.
+* :mod:`repro.crypto` -- simulated key management, HTLC and contract layer.
+* :mod:`repro.analysis` -- experiment sweeps, metrics tables and statistics.
+"""
+
+from repro.core.config import SplicerConfig
+from repro.core.splicer import SplicerSystem
+from repro.placement.problem import PlacementPlan, PlacementProblem
+from repro.placement.solver import PlacementSolver, solve_placement
+from repro.routing.router import RateRouter
+from repro.simulator.experiment import ExperimentResult, ExperimentRunner
+from repro.topology.network import PCNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SplicerConfig",
+    "SplicerSystem",
+    "PlacementPlan",
+    "PlacementProblem",
+    "PlacementSolver",
+    "solve_placement",
+    "RateRouter",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "PCNetwork",
+    "__version__",
+]

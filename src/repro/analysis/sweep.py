@@ -1,0 +1,78 @@
+"""Parameter sweep helpers.
+
+The paper's figures are parameter sweeps (channel size, transaction size,
+update time, weight omega) with one curve per scheme.  :func:`sweep` runs a
+user-supplied experiment factory once per parameter value and collects the
+results into a :class:`SweepResult` that can be turned into per-scheme
+series or a flat table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.simulator.experiment import ExperimentResult
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated parameter value and its experiment result."""
+
+    parameter: str
+    value: object
+    result: ExperimentResult
+
+
+@dataclass
+class SweepResult:
+    """All points of a parameter sweep."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> List[object]:
+        """The swept parameter values in evaluation order."""
+        return [point.value for point in self.points]
+
+    def series(self, scheme: str, metric: str = "success_ratio") -> List[float]:
+        """Metric values of one scheme across the sweep (one per parameter value)."""
+        return [getattr(point.result.scheme(scheme), metric) for point in self.points]
+
+    def all_series(self, metric: str = "success_ratio") -> Dict[str, List[float]]:
+        """Metric series for every scheme present in the first point."""
+        if not self.points:
+            return {}
+        schemes = self.points[0].result.schemes()
+        return {scheme: self.series(scheme, metric) for scheme in schemes}
+
+    def as_rows(self, metric: str = "success_ratio") -> List[Dict[str, object]]:
+        """Flat rows (parameter value x scheme metric) for table rendering."""
+        rows = []
+        for point in self.points:
+            row: Dict[str, object] = {self.parameter: point.value}
+            for scheme in point.result.schemes():
+                row[scheme] = getattr(point.result.scheme(scheme), metric)
+            rows.append(row)
+        return rows
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[object],
+    experiment_factory: Callable[[object], ExperimentResult],
+) -> SweepResult:
+    """Evaluate ``experiment_factory`` at every parameter value.
+
+    Args:
+        parameter: Name of the swept parameter (used for labeling).
+        values: Parameter values to evaluate.
+        experiment_factory: Callable mapping one parameter value to a finished
+            :class:`ExperimentResult`.
+    """
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        result.points.append(
+            SweepPoint(parameter=parameter, value=value, result=experiment_factory(value))
+        )
+    return result

@@ -1,0 +1,78 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper reports its evaluation as figures and tables; since the benchmark
+harness runs in a terminal, results are rendered as aligned ASCII tables
+(one row per scheme or per sweep point) and can be exported as CSV for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simulator.experiment import ExperimentResult
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render dictionaries as an aligned ASCII table.
+
+    Args:
+        rows: One dictionary per row.
+        columns: Column order; defaults to the keys of the first row.
+        float_format: Format applied to float values.
+    """
+    if not rows:
+        return "(no rows)"
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in column_names] for row in rows]
+    widths = [
+        max(len(column_names[i]), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(column_names))
+    ]
+    lines = []
+    header = " | ".join(name.ljust(width) for name, width in zip(column_names, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def result_table(
+    result: ExperimentResult,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an :class:`ExperimentResult` as a per-scheme table."""
+    default_columns = [
+        "scheme",
+        "success_ratio",
+        "normalized_throughput",
+        "average_delay",
+        "overhead_messages",
+        "completed_count",
+        "generated_count",
+    ]
+    return format_table(result.as_rows(), columns=columns or default_columns)
+
+
+def to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dictionaries as CSV text."""
+    if not rows:
+        return ""
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    buffer.write(",".join(column_names) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(row.get(column, "")) for column in column_names) + "\n")
+    return buffer.getvalue()

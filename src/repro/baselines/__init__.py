@@ -1,0 +1,47 @@
+"""Routing schemes compared in the paper's evaluation.
+
+Every scheme implements the :class:`~repro.baselines.base.RoutingScheme`
+interface so the :class:`~repro.simulator.experiment.ExperimentRunner` can
+replay the same workload over the same topology under each of them:
+
+* :class:`~repro.baselines.splicer_scheme.SplicerScheme` -- this paper.
+* :class:`~repro.baselines.spider.SpiderScheme` -- multi-path packetized
+  source routing (Spider, NSDI'20).
+* :class:`~repro.baselines.flash.FlashScheme` -- max-flow elephants, random
+  precomputed paths for mice (Flash, CoNEXT'19).
+* :class:`~repro.baselines.landmark.LandmarkScheme` -- landmark routing.
+* :class:`~repro.baselines.a2l.A2LScheme` -- single-hub PCH with
+  per-payment cryptographic overhead (A2L, S&P'21).
+* :class:`~repro.baselines.shortest_path.ShortestPathScheme` -- plain
+  single-path source routing.
+"""
+
+from repro.baselines.a2l import A2LScheme
+from repro.baselines.base import RoutingScheme, SchemeStepReport
+from repro.baselines.flash import FlashScheme
+from repro.baselines.landmark import LandmarkScheme
+from repro.baselines.shortest_path import ShortestPathScheme
+from repro.baselines.spider import SpiderScheme
+from repro.baselines.splicer_scheme import SplicerScheme
+
+#: Registry of the paper's comparison schemes keyed by display name.
+SCHEME_REGISTRY = {
+    "splicer": SplicerScheme,
+    "spider": SpiderScheme,
+    "flash": FlashScheme,
+    "landmark": LandmarkScheme,
+    "a2l": A2LScheme,
+    "shortest-path": ShortestPathScheme,
+}
+
+__all__ = [
+    "RoutingScheme",
+    "SchemeStepReport",
+    "SplicerScheme",
+    "SpiderScheme",
+    "FlashScheme",
+    "LandmarkScheme",
+    "A2LScheme",
+    "ShortestPathScheme",
+    "SCHEME_REGISTRY",
+]

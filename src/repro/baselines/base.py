@@ -1,0 +1,213 @@
+"""Common interface and machinery for routing schemes.
+
+A routing scheme owns all state it needs to route payments on a
+:class:`~repro.topology.network.PCNetwork` (paths, prices, queues) and is
+driven by the experiment runner through three calls:
+
+* :meth:`RoutingScheme.prepare` once before the run,
+* :meth:`RoutingScheme.submit` for every arriving payment request,
+* :meth:`RoutingScheme.step` once per simulation step.
+
+Two families of schemes share helper machinery here:
+
+* *atomic source-routing* schemes (Flash, landmark, shortest-path, A2L)
+  attempt the whole payment at submission time: the helper
+  :meth:`AtomicRoutingMixin.execute_atomic` locks and settles funds across
+  one or more paths, all-or-nothing,
+* *source-computation delay*: the paper argues source routing pushes the
+  path computation onto the (weak) sender, which becomes a bottleneck as the
+  network grows; :class:`SourceComputationModel` converts network size into
+  a per-payment computation delay that eats into the 3-second deadline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.routing.transaction import Payment
+from repro.simulator.workload import TransactionRequest
+from repro.topology.channel import InsufficientFundsError
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+Path = Tuple[NodeId, ...]
+
+
+@dataclass
+class SchemeStepReport:
+    """Payments that completed or failed during one scheme step."""
+
+    completed: List[Payment] = field(default_factory=list)
+    failed: List[Payment] = field(default_factory=list)
+    fees_paid: float = 0.0
+
+
+@dataclass
+class SourceComputationModel:
+    """Per-payment path-computation delay of source-routing schemes.
+
+    The delay grows linearly with network size: ``base_delay`` at
+    ``reference_size`` nodes and proportionally more in larger networks,
+    reflecting that each sender must maintain the full topology and compute
+    routes on its own hardware.
+    """
+
+    base_delay: float = 0.05
+    reference_size: int = 100
+
+    def delay_for(self, node_count: int) -> float:
+        """Computation delay for one payment in a network of ``node_count`` nodes."""
+        if node_count <= 0:
+            return 0.0
+        return self.base_delay * node_count / self.reference_size
+
+
+class RoutingScheme(abc.ABC):
+    """Interface every comparison scheme implements."""
+
+    #: Display name used in result tables.
+    name: str = "scheme"
+
+    def __init__(self) -> None:
+        self.network: Optional[PCNetwork] = None
+        self.control_messages = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
+        """Bind the scheme to a network and precompute whatever it needs."""
+        self.network = network
+        self.control_messages = 0.0
+
+    @abc.abstractmethod
+    def submit(self, request: TransactionRequest, now: float) -> Payment:
+        """Offer one payment request to the scheme; returns the payment object."""
+
+    @abc.abstractmethod
+    def step(self, now: float, dt: float) -> SchemeStepReport:
+        """Advance the scheme by ``dt`` seconds and report finished payments."""
+
+    def finish(self, now: float) -> SchemeStepReport:
+        """Flush at the end of the run (default: one final zero-length step)."""
+        return self.step(now, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # per-payment accounting
+    # ------------------------------------------------------------------ #
+    def extra_delay(self, payment: Payment) -> float:
+        """Scheme-specific latency added on top of the routing latency."""
+        return 0.0
+
+    def overhead_messages(self) -> float:
+        """Control-plane messages generated so far."""
+        return self.control_messages
+
+    def _require_network(self) -> PCNetwork:
+        if self.network is None:
+            raise RuntimeError(f"{self.name}: prepare() must be called before use")
+        return self.network
+
+
+class AtomicRoutingMixin:
+    """Shared all-or-nothing multi-path execution for source-routing schemes."""
+
+    #: Per-hop settlement delay used to timestamp completions.
+    hop_delay: float = 0.02
+
+    def execute_atomic(
+        self,
+        network: PCNetwork,
+        payment: Payment,
+        paths: Sequence[Sequence[NodeId]],
+        now: float,
+    ) -> bool:
+        """Attempt to deliver ``payment`` across ``paths``, all-or-nothing.
+
+        The payment value is split across the paths proportionally to their
+        current bottleneck capacity.  If the paths cannot jointly carry the
+        value, nothing is transferred and the attempt fails.
+        """
+        usable: List[Tuple[Path, float]] = []
+        for raw_path in paths:
+            path = tuple(raw_path)
+            if len(path) < 2:
+                continue
+            capacity = network.path_capacity(path)
+            if capacity > 0:
+                usable.append((path, capacity))
+        total_capacity = sum(capacity for _, capacity in usable)
+        if not usable or total_capacity + 1e-9 < payment.value:
+            payment.fail()
+            return False
+
+        # Allocate greedily by capacity, largest first, to minimize split count.
+        usable.sort(key=lambda item: item[1], reverse=True)
+        remaining = payment.value
+        allocations: List[Tuple[Path, float]] = []
+        for path, capacity in usable:
+            if remaining <= 1e-9:
+                break
+            share = min(capacity, remaining)
+            allocations.append((path, share))
+            remaining -= share
+        if remaining > 1e-9:
+            payment.fail()
+            return False
+
+        locks: List[Tuple[object, int]] = []
+        try:
+            for path, share in allocations:
+                for sender, receiver in zip(path, path[1:]):
+                    channel = network.channel(sender, receiver)
+                    locks.append((channel, channel.lock(sender, share, now=now)))
+        except InsufficientFundsError:
+            for channel, lock_id in locks:
+                channel.release(lock_id)
+            payment.fail()
+            return False
+
+        for channel, lock_id in locks:
+            channel.settle(lock_id)
+
+        longest = max(len(path) - 1 for path, _ in allocations)
+        completion_time = now + self.hop_delay * longest
+        payment.split(min_tu=payment.value, max_tu=payment.value)
+        unit = payment.units[0]
+        unit.path = allocations[0][0]
+        payment.record_unit_delivery(unit, completion_time)
+        payment.hops_used += sum(len(path) - 1 for path, _ in allocations[1:])
+        return True
+
+
+@dataclass
+class _PendingSubmission:
+    """A payment waiting for the sender's path computation to finish."""
+
+    ready_at: float
+    request: TransactionRequest
+    payment: Payment
+
+
+class DelayedSubmissionQueue:
+    """Queue of payments delayed by source-side path computation."""
+
+    def __init__(self) -> None:
+        self._pending: List[_PendingSubmission] = []
+
+    def push(self, ready_at: float, request: TransactionRequest, payment: Payment) -> None:
+        """Add a payment that becomes routable at ``ready_at``."""
+        self._pending.append(_PendingSubmission(ready_at, request, payment))
+
+    def pop_ready(self, now: float) -> List[_PendingSubmission]:
+        """Remove and return every payment whose computation has finished."""
+        ready = [entry for entry in self._pending if entry.ready_at <= now]
+        self._pending = [entry for entry in self._pending if entry.ready_at > now]
+        return ready
+
+    def __len__(self) -> int:
+        return len(self._pending)

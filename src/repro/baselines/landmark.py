@@ -1,0 +1,87 @@
+"""Landmark routing.
+
+Several earlier PCN schemes (Flare, SilentWhispers, SpeedyMurmurs) route
+payments through a small set of well-connected *landmark* nodes: the sender
+computes its shortest path to each landmark and the landmark extends it to
+the recipient.  Payments execute atomically over up to ``k`` distinct
+landmark paths with capacity-proportional splitting, and there is no rate or
+balance control.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    AtomicRoutingMixin,
+    RoutingScheme,
+    SchemeStepReport,
+    SourceComputationModel,
+)
+from repro.routing.paths import landmark_paths
+from repro.routing.transaction import Payment
+from repro.simulator.workload import TransactionRequest
+from repro.topology.network import PCNetwork
+
+
+class LandmarkScheme(AtomicRoutingMixin, RoutingScheme):
+    """Landmark routing with up to ``k`` landmark-anchored paths per payment."""
+
+    name = "landmark"
+
+    def __init__(
+        self,
+        landmark_count: int = 5,
+        paths_per_payment: int = 4,
+        timeout: float = 3.0,
+        computation: Optional[SourceComputationModel] = None,
+    ) -> None:
+        super().__init__()
+        if landmark_count < 1:
+            raise ValueError("need at least one landmark")
+        self.landmark_count = landmark_count
+        self.paths_per_payment = paths_per_payment
+        self.timeout = timeout
+        self.computation = computation or SourceComputationModel(base_delay=0.03)
+        self.landmarks: List[object] = []
+        self._report = SchemeStepReport()
+
+    def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
+        super().prepare(network, rng)
+        # Landmarks are the best-connected nodes, as in prior landmark schemes.
+        ranked = sorted(network.nodes(), key=lambda node: network.degree(node), reverse=True)
+        self.landmarks = ranked[: self.landmark_count]
+        self._report = SchemeStepReport()
+
+    def submit(self, request: TransactionRequest, now: float) -> Payment:
+        network = self._require_network()
+        payment = Payment.create(
+            sender=request.sender,
+            recipient=request.recipient,
+            value=request.value,
+            created_at=now,
+            timeout=self.timeout,
+        )
+        paths = landmark_paths(
+            network, request.sender, request.recipient, self.paths_per_payment, self.landmarks
+        )
+        self.control_messages += sum(max(len(path) - 1, 0) for path in paths)
+        if not paths:
+            payment.fail()
+            self._report.failed.append(payment)
+            return payment
+        if self.execute_atomic(network, payment, paths, now):
+            self._report.completed.append(payment)
+        else:
+            self._report.failed.append(payment)
+        return payment
+
+    def step(self, now: float, dt: float) -> SchemeStepReport:
+        report = self._report
+        self._report = SchemeStepReport()
+        return report
+
+    def extra_delay(self, payment: Payment) -> float:
+        return self.computation.delay_for(self._require_network().node_count())

@@ -1,0 +1,73 @@
+"""Plain single-path shortest-path source routing.
+
+The simplest baseline: the sender computes one shortest path and attempts an
+atomic transfer on it.  It is also the "without smooth nodes" configuration
+used by the placement-effectiveness experiment (figure 9(e)/(f)), where each
+sender bears the path-computation cost itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    AtomicRoutingMixin,
+    RoutingScheme,
+    SchemeStepReport,
+    SourceComputationModel,
+)
+from repro.routing.paths import k_shortest_paths
+from repro.routing.transaction import Payment
+from repro.simulator.workload import TransactionRequest
+from repro.topology.network import PCNetwork
+
+
+class ShortestPathScheme(AtomicRoutingMixin, RoutingScheme):
+    """Single shortest-path atomic source routing."""
+
+    name = "shortest-path"
+
+    def __init__(
+        self,
+        timeout: float = 3.0,
+        computation: Optional[SourceComputationModel] = None,
+    ) -> None:
+        super().__init__()
+        self.timeout = timeout
+        self.computation = computation or SourceComputationModel()
+        self._report = SchemeStepReport()
+
+    def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
+        super().prepare(network, rng)
+        self._report = SchemeStepReport()
+
+    def submit(self, request: TransactionRequest, now: float) -> Payment:
+        network = self._require_network()
+        payment = Payment.create(
+            sender=request.sender,
+            recipient=request.recipient,
+            value=request.value,
+            created_at=now,
+            timeout=self.timeout,
+        )
+        paths = k_shortest_paths(network, request.sender, request.recipient, 1)
+        self.control_messages += 1  # the sender probes its one path
+        if not paths:
+            payment.fail()
+            self._report.failed.append(payment)
+            return payment
+        if self.execute_atomic(network, payment, paths, now):
+            self._report.completed.append(payment)
+        else:
+            self._report.failed.append(payment)
+        return payment
+
+    def step(self, now: float, dt: float) -> SchemeStepReport:
+        report = self._report
+        self._report = SchemeStepReport()
+        return report
+
+    def extra_delay(self, payment: Payment) -> float:
+        return self.computation.delay_for(self._require_network().node_count())

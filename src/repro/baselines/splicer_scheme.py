@@ -1,0 +1,99 @@
+"""Splicer wrapped in the comparison-scheme interface.
+
+The scheme wires a full :class:`~repro.core.splicer.SplicerSystem` (candidate
+election, placement optimization, client attachment, the encrypted payment
+workflow, and the rate-based routing protocol) behind the same
+``prepare`` / ``submit`` / ``step`` interface the baselines implement, so the
+experiment runner can replay identical workloads over all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.base import RoutingScheme, SchemeStepReport
+from repro.core.config import SplicerConfig
+from repro.core.splicer import SplicerSystem
+from repro.routing.transaction import Payment
+from repro.simulator.workload import TransactionRequest
+from repro.topology.network import PCNetwork
+
+
+class SplicerScheme(RoutingScheme):
+    """This paper's system: placed PCHs plus rate-based deadlock-free routing."""
+
+    name = "splicer"
+
+    def __init__(self, config: Optional[SplicerConfig] = None) -> None:
+        super().__init__()
+        self.config = config or SplicerConfig()
+        self.system: Optional[SplicerSystem] = None
+        self._sender_of_payment: Dict[int, object] = {}
+
+    def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
+        super().prepare(network, rng)
+        self.system = SplicerSystem(network, self.config)
+        self.system.setup()
+        self._sender_of_payment = {}
+
+    def submit(self, request: TransactionRequest, now: float) -> Payment:
+        if self.system is None:
+            raise RuntimeError("splicer: prepare() must be called before submit()")
+        sender = request.sender
+        if sender not in self.system.clients:
+            # Hubs themselves (or unplaced candidates) can also send payments;
+            # route them through the engine directly without the client workflow.
+            payment = Payment.create(
+                sender=sender,
+                recipient=request.recipient,
+                value=request.value,
+                created_at=now,
+                timeout=self.config.payment_timeout,
+            )
+            self.system.router.submit(payment, now)
+            return payment
+        session, decision = self.system.submit_payment(
+            sender=sender, recipient=request.recipient, value=request.value, now=now
+        )
+        payment = decision.payment
+        self._sender_of_payment[payment.payment_id] = sender
+        return payment
+
+    def step(self, now: float, dt: float) -> SchemeStepReport:
+        if self.system is None:
+            raise RuntimeError("splicer: prepare() must be called before step()")
+        router_report = self.system.step(now, dt)
+        self.control_messages = self._total_control_messages()
+        return SchemeStepReport(
+            completed=list(router_report.completed_payments),
+            failed=list(router_report.failed_payments),
+            fees_paid=router_report.fees_paid,
+        )
+
+    def extra_delay(self, payment: Payment) -> float:
+        if self.system is None:
+            return 0.0
+        sender = self._sender_of_payment.get(payment.payment_id)
+        if sender is None or sender not in self.system.clients:
+            return 0.0
+        return self.system.management_delay(sender)
+
+    # ------------------------------------------------------------------ #
+    # overhead accounting
+    # ------------------------------------------------------------------ #
+    def _total_control_messages(self) -> float:
+        assert self.system is not None
+        management = sum(
+            node.stats.management_messages + node.stats.acks_forwarded
+            for node in self.system.smooth_nodes.values()
+        )
+        sync = self.system.epoch_clock.total_sync_messages()
+        probes = self.system.router.total_probe_messages
+        return float(management + sync + probes)
+
+    @property
+    def placement_plan(self):
+        """The placement decided during :meth:`prepare` (None before that)."""
+        return self.system.placement_plan if self.system is not None else None

@@ -1,0 +1,59 @@
+"""Client entities.
+
+Clients are the lightweight end-users of the PCN (possibly mobile or IoT
+devices): they open a channel with exactly one smooth node, outsource all
+routing computation to it, encrypt their payment demands to per-transaction
+keys, and receive acknowledgments when payments complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+from repro.core.payment import PaymentDemand, PaymentSession
+
+NodeId = Hashable
+
+
+@dataclass
+class Client:
+    """A PCN client attached to one smooth node.
+
+    Attributes:
+        node_id: The client's node id in the PCN topology.
+        smooth_node_id: The smooth node serving this client.
+        hops_to_hub: Communication hops between the client and its smooth node
+            (drives the management-delay metric).
+        sent_payments: Transaction ids of payments this client initiated.
+        received_acks: Transaction ids acknowledged back to this client.
+    """
+
+    node_id: NodeId
+    smooth_node_id: Optional[NodeId] = None
+    hops_to_hub: int = 0
+    sent_payments: List[str] = field(default_factory=list)
+    received_acks: List[str] = field(default_factory=list)
+
+    def attach(self, smooth_node_id: NodeId, hops_to_hub: int) -> None:
+        """Attach the client to its (unique) serving smooth node."""
+        self.smooth_node_id = smooth_node_id
+        self.hops_to_hub = max(int(hops_to_hub), 0)
+
+    def build_request(self, session: PaymentSession, recipient: NodeId, value: float) -> bytes:
+        """Encrypt a payment demand for the smooth node (workflow step 1)."""
+        if self.smooth_node_id is None:
+            raise RuntimeError(f"client {self.node_id!r} is not attached to a smooth node")
+        demand = PaymentDemand(sender=self.node_id, recipient=recipient, value=value)
+        ciphertext = session.encrypt_demand(demand)
+        self.sent_payments.append(session.tid)
+        return ciphertext
+
+    def receive_ack(self, tid: str) -> None:
+        """Record the final acknowledgment forwarded by the smooth nodes."""
+        self.received_acks.append(tid)
+
+    @property
+    def request_round_trip_hops(self) -> int:
+        """Hops traversed by one request/acknowledgment round trip."""
+        return 2 * self.hops_to_hub

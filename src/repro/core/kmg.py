@@ -1,0 +1,88 @@
+"""Key management group (KMG).
+
+A subset of ``iota`` smooth nodes jointly generates per-transaction key
+pairs (in the deployed system via a distributed key generation protocol).
+The reproduction models the group's interface: any member can request a
+fresh key pair for a transaction or transaction-unit id, the same id always
+maps to the same pair, and key retrieval requires a quorum of live members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.crypto.keys import KeyPair, generate_keypair
+
+NodeId = Hashable
+
+
+class KMGUnavailableError(Exception):
+    """Raised when too few KMG members are live to serve key requests."""
+
+
+@dataclass
+class KeyManagementGroup:
+    """The smooth nodes' distributed key service.
+
+    Attributes:
+        members: Smooth nodes forming the group (``iota`` of them).
+        quorum: Minimum number of live members needed to generate or retrieve
+            keys; defaults to a simple majority.
+    """
+
+    members: List[NodeId]
+    quorum: Optional[int] = None
+    _keys: Dict[str, KeyPair] = field(default_factory=dict)
+    _offline: Set[NodeId] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("the KMG needs at least one member")
+        if self.quorum is None:
+            self.quorum = len(self.members) // 2 + 1
+        if not 1 <= self.quorum <= len(self.members):
+            raise ValueError("quorum must be between 1 and the member count")
+
+    # ------------------------------------------------------------------ #
+    # membership / liveness
+    # ------------------------------------------------------------------ #
+    @property
+    def live_members(self) -> List[NodeId]:
+        """Members currently online."""
+        return [member for member in self.members if member not in self._offline]
+
+    def set_offline(self, member: NodeId, offline: bool = True) -> None:
+        """Mark a member as offline (or back online), e.g. for failure injection."""
+        if member not in self.members:
+            raise KeyError(f"{member!r} is not a KMG member")
+        if offline:
+            self._offline.add(member)
+        else:
+            self._offline.discard(member)
+
+    def has_quorum(self) -> bool:
+        """Whether enough members are live to serve requests."""
+        return len(self.live_members) >= self.quorum
+
+    # ------------------------------------------------------------------ #
+    # key service
+    # ------------------------------------------------------------------ #
+    def keypair_for(self, transaction_id: str) -> KeyPair:
+        """The key pair for a transaction (or TU) id, generating it on first use."""
+        if not self.has_quorum():
+            raise KMGUnavailableError(
+                f"only {len(self.live_members)}/{len(self.members)} KMG members are live "
+                f"(quorum {self.quorum})"
+            )
+        if transaction_id not in self._keys:
+            self._keys[transaction_id] = generate_keypair()
+        return self._keys[transaction_id]
+
+    def public_key_for(self, transaction_id: str) -> bytes:
+        """Only the public half, as handed to the paying client."""
+        return self.keypair_for(transaction_id).public_key
+
+    def issued_count(self) -> int:
+        """Number of distinct key pairs issued so far."""
+        return len(self._keys)

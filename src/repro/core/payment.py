@@ -1,0 +1,109 @@
+"""The encrypted payment workflow of section III-A.
+
+A :class:`PaymentSession` is the workflow wrapper around a routed payment:
+
+1. the sender asks its smooth node for a fresh transaction id and public key
+   (payment preparation),
+2. the sender encrypts the demand ``D = (sender, recipient, value)`` and the
+   smooth node decrypts it (payment execution step 1-2),
+3. the routing layer splits the demand into transaction units, each
+   encrypted to its own key from the KMG (step 2-3),
+4. acknowledgments for every unit flip the per-unit completion flags; when
+   all of them are true the transaction state is complete and the recipient's
+   acknowledgment is forwarded back to the sender (step 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.kmg import KeyManagementGroup
+from repro.crypto.keys import KeyPair, decrypt, encrypt
+from repro.routing.transaction import Payment
+
+NodeId = Hashable
+
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PaymentDemand:
+    """The plaintext demand ``D_tid = (P_s, P_r, val_tid)``."""
+
+    sender: NodeId
+    recipient: NodeId
+    value: float
+
+
+@dataclass
+class PaymentSession:
+    """One transaction's workflow state as seen by the serving smooth node.
+
+    Attributes:
+        tid: Fresh transaction id.
+        keypair: The per-transaction key pair obtained from the KMG.
+        demand: The decrypted demand (set once the hub decrypts the request).
+        unit_states: Per transaction-unit completion flags ``theta_tuid``.
+        payment: The routed payment object once routing has started.
+        ack_sent: Whether the final acknowledgment was forwarded to the sender.
+    """
+
+    tid: str
+    keypair: KeyPair
+    demand: Optional[PaymentDemand] = None
+    unit_states: Dict[int, bool] = field(default_factory=dict)
+    payment: Optional[Payment] = None
+    ack_sent: bool = False
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def encrypt_demand(self, demand: PaymentDemand) -> bytes:
+        """The sender encrypts its demand to the transaction's public key."""
+        return encrypt(self.keypair.public_key, (demand.sender, demand.recipient, demand.value))
+
+    # ------------------------------------------------------------------ #
+    # smooth-node side
+    # ------------------------------------------------------------------ #
+    def decrypt_demand(self, ciphertext: bytes) -> PaymentDemand:
+        """The smooth node decrypts the demand with the secret key it kept."""
+        sender, recipient, value = decrypt(self.keypair.secret_key, ciphertext)
+        self.demand = PaymentDemand(sender, recipient, float(value))
+        return self.demand
+
+    def attach_payment(self, payment: Payment) -> None:
+        """Associate the routed payment and initialize the per-unit flags."""
+        self.payment = payment
+        self.unit_states = {unit.unit_id: False for unit in payment.units}
+
+    def record_unit_ack(self, unit_id: int) -> None:
+        """An ``ACK_tuid`` arrived for a transaction unit."""
+        if unit_id not in self.unit_states:
+            raise KeyError(f"unknown transaction unit {unit_id} for session {self.tid}")
+        self.unit_states[unit_id] = True
+
+    @property
+    def theta(self) -> bool:
+        """The transaction's completion flag (conjunction of the unit flags)."""
+        if not self.unit_states:
+            return False
+        return all(self.unit_states.values())
+
+    def finalize(self) -> bool:
+        """Forward the final acknowledgment to the sender when complete.
+
+        Returns True exactly once, the first time the session is complete.
+        """
+        if self.theta and not self.ack_sent:
+            self.ack_sent = True
+            return True
+        return False
+
+
+def open_session(kmg: KeyManagementGroup) -> PaymentSession:
+    """Payment preparation: mint a fresh tid and fetch its key pair from the KMG."""
+    tid = f"tid-{next(_session_ids)}"
+    keypair = kmg.keypair_for(tid)
+    return PaymentSession(tid=tid, keypair=keypair)

@@ -1,0 +1,31 @@
+"""Simulated security substrate.
+
+The paper's security machinery (threshold key management, HTLCs, smart
+contracts for candidate voting and placement) is orthogonal to the
+performance results, but the workflow depends on its *interfaces*: payments
+are encrypted to per-transaction keys obtained from the key management
+group, funds move under hash-time-lock contracts, and the hub candidate list
+comes out of a multiwinner voting contract.  This subpackage provides
+deterministic, dependency-free stand-ins with those interfaces so the full
+workflow of section III-A can be executed and tested end to end.
+
+None of this is cryptographically secure; see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.crypto.contracts import PlacementContract, VotingContract
+from repro.crypto.htlc import HTLC, HTLCStatus
+from repro.crypto.keys import KeyPair, decrypt, encrypt, generate_keypair
+from repro.crypto.voting import multiwinner_vote
+
+__all__ = [
+    "KeyPair",
+    "generate_keypair",
+    "encrypt",
+    "decrypt",
+    "HTLC",
+    "HTLCStatus",
+    "VotingContract",
+    "PlacementContract",
+    "multiwinner_vote",
+]

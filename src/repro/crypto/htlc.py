@@ -1,0 +1,81 @@
+"""Hash time lock contracts (HTLCs).
+
+HTLCs guarantee that an intermediary only receives funds on its incoming
+channel after it has paid on its outgoing channel within a bounded time.
+The :class:`~repro.topology.channel.PaymentChannel` already models the fund
+locking; this module models the contract object itself -- hash lock,
+preimage verification and timeout -- so multi-hop forwarding can be executed
+and tested with the same claim/refund semantics as the Lightning Network.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_htlc_ids = itertools.count()
+
+
+class HTLCStatus(enum.Enum):
+    """Lifecycle of a hash time lock contract."""
+
+    PENDING = "pending"
+    CLAIMED = "claimed"
+    REFUNDED = "refunded"
+
+
+def hash_preimage(preimage: bytes) -> bytes:
+    """The hash lock corresponding to a preimage."""
+    return hashlib.sha256(preimage).digest()
+
+
+@dataclass
+class HTLC:
+    """One hash time lock contract on a channel hop.
+
+    Attributes:
+        htlc_id: Unique identifier.
+        amount: Locked amount.
+        hash_lock: Hash of the secret preimage.
+        expiry: Absolute time after which the sender may refund.
+        status: Current contract state.
+        claimed_at: Time the contract was claimed (if it was).
+    """
+
+    amount: float
+    hash_lock: bytes
+    expiry: float
+    htlc_id: int = field(default_factory=lambda: next(_htlc_ids))
+    status: HTLCStatus = HTLCStatus.PENDING
+    claimed_at: Optional[float] = None
+
+    @classmethod
+    def create(cls, amount: float, preimage: bytes, expiry: float) -> "HTLC":
+        """Create a contract locked to the hash of ``preimage``."""
+        if amount <= 0:
+            raise ValueError("HTLC amount must be positive")
+        return cls(amount=amount, hash_lock=hash_preimage(preimage), expiry=expiry)
+
+    def claim(self, preimage: bytes, now: float) -> bool:
+        """Claim the funds by revealing the preimage before expiry.
+
+        Returns True when the claim succeeds; a wrong preimage, an expired
+        contract or a non-pending contract all return False.
+        """
+        if self.status != HTLCStatus.PENDING or now > self.expiry:
+            return False
+        if hash_preimage(preimage) != self.hash_lock:
+            return False
+        self.status = HTLCStatus.CLAIMED
+        self.claimed_at = now
+        return True
+
+    def refund(self, now: float) -> bool:
+        """Refund the sender after expiry.  Returns True when the refund succeeds."""
+        if self.status != HTLCStatus.PENDING or now <= self.expiry:
+            return False
+        self.status = HTLCStatus.REFUNDED
+        return True

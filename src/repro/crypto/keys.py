@@ -1,0 +1,91 @@
+"""Toy public-key encryption used by the payment workflow.
+
+The workflow of section III-A encrypts every payment demand with a fresh
+per-transaction public key obtained from the key management group, so that
+intermediaries only ever see ciphertext.  For the reproduction we only need
+the *shape* of that interface: key pairs, ``Enc(pk, data)`` and
+``Dec(sk, ciphertext)`` such that decryption with the wrong key fails.  The
+implementation is a keyed stream cipher built from Python's ``hashlib``
+(deterministic, dependency-free, and emphatically not secure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import pickle
+from dataclasses import dataclass
+from typing import Any, Optional
+
+_key_counter = itertools.count(1)
+
+
+class DecryptionError(Exception):
+    """Raised when a ciphertext cannot be decrypted with the supplied key."""
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A (public, secret) key pair issued by the key management group."""
+
+    public_key: bytes
+    secret_key: bytes
+    key_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyPair(id={self.key_id}, pk={self.public_key.hex()[:12]}...)"
+
+
+def generate_keypair(seed: Optional[int] = None) -> KeyPair:
+    """Generate a fresh key pair.
+
+    The secret key is derived from a counter (and optional seed) and the
+    public key is a hash of the secret key, so possession of the public key
+    does not reveal the secret key but the pair is verifiably linked.
+    """
+    key_id = next(_key_counter)
+    material = f"splicer-key-{key_id}-{seed if seed is not None else 'default'}".encode()
+    secret = hashlib.sha256(material).digest()
+    public = hashlib.sha256(b"pk|" + secret).digest()
+    return KeyPair(public_key=public, secret_key=secret, key_id=key_id)
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    """Deterministic keystream of the requested length derived from ``key``."""
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(key + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def encrypt(public_key: bytes, payload: Any) -> bytes:
+    """Encrypt a picklable payload to a public key.
+
+    The ciphertext embeds a MAC binding it to the public key so that
+    decryption with a mismatched secret key is detected.
+    """
+    plaintext = pickle.dumps(payload)
+    stream = _keystream(public_key, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    mac = hashlib.sha256(public_key + body).digest()[:16]
+    return mac + body
+
+
+def decrypt(secret_key: bytes, ciphertext: bytes) -> Any:
+    """Decrypt a ciphertext produced by :func:`encrypt` with the paired secret key."""
+    if len(ciphertext) < 16:
+        raise DecryptionError("ciphertext too short")
+    public_key = hashlib.sha256(b"pk|" + secret_key).digest()
+    mac, body = ciphertext[:16], ciphertext[16:]
+    expected = hashlib.sha256(public_key + body).digest()[:16]
+    if mac != expected:
+        raise DecryptionError("MAC mismatch: wrong key or corrupted ciphertext")
+    stream = _keystream(public_key, len(body))
+    plaintext = bytes(c ^ s for c, s in zip(body, stream))
+    try:
+        return pickle.loads(plaintext)
+    except Exception as exc:  # pragma: no cover - only on corrupted data
+        raise DecryptionError("failed to deserialize plaintext") from exc

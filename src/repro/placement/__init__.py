@@ -1,0 +1,43 @@
+"""PCH placement optimization (paper sections IV-B and IV-C).
+
+The placement problem selects which candidate nodes become smooth nodes
+(payment channel hubs) and assigns every client to exactly one of them so
+that the *balance cost* -- management cost of client/hub communication plus
+``omega`` times the hub/hub synchronization cost -- is minimized.
+
+The subpackage provides:
+
+* :mod:`repro.placement.costs` -- hop-count based cost model (zeta, delta, epsilon).
+* :mod:`repro.placement.problem` -- the problem/plan data model and cost evaluation.
+* :mod:`repro.placement.assignment` -- Lemma-1 optimal client assignment.
+* :mod:`repro.placement.bruteforce` -- exhaustive optimum for tiny instances.
+* :mod:`repro.placement.milp` -- the paper's MILP linearization and a
+  branch-and-bound solver over it (small-scale optimal solution).
+* :mod:`repro.placement.supermodular` -- the double-greedy 1/2-approximation
+  (large-scale solution, Algorithm 1).
+* :mod:`repro.placement.solver` -- a unified facade that picks the right method.
+"""
+
+from repro.placement.assignment import optimal_assignment
+from repro.placement.bruteforce import brute_force_placement
+from repro.placement.costs import PlacementCostModel, cost_model_from_network
+from repro.placement.milp import MILPModel, linearize_placement, solve_placement_milp
+from repro.placement.problem import PlacementPlan, PlacementProblem
+from repro.placement.solver import PlacementSolver, solve_placement
+from repro.placement.supermodular import double_greedy_placement, is_supermodular
+
+__all__ = [
+    "PlacementCostModel",
+    "cost_model_from_network",
+    "PlacementProblem",
+    "PlacementPlan",
+    "optimal_assignment",
+    "brute_force_placement",
+    "MILPModel",
+    "linearize_placement",
+    "solve_placement_milp",
+    "double_greedy_placement",
+    "is_supermodular",
+    "PlacementSolver",
+    "solve_placement",
+]

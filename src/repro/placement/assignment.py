@@ -1,0 +1,88 @@
+"""Optimal client-to-hub assignment (Lemma 1 of the paper).
+
+Given a fixed placement ``x``, the balance cost separates per client: client
+``m`` should be assigned to the placed hub ``n`` that minimizes
+``omega * sum_{l placed} delta[n][l] + zeta[m][n]``.  This module computes
+that assignment and, for a given placement, the resulting plan and cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Sequence, Tuple
+
+from repro.placement.problem import PlacementPlan, PlacementProblem
+
+NodeId = Hashable
+
+
+def assignment_key(problem: PlacementProblem, hubs: Sequence[NodeId], hub: NodeId) -> float:
+    """The per-client-independent part of Lemma 1's assignment cost for ``hub``."""
+    return problem.omega * sum(problem.costs.delta[hub][l] for l in hubs)
+
+
+def optimal_assignment(
+    problem: PlacementProblem,
+    hubs: Iterable[NodeId],
+) -> Dict[NodeId, NodeId]:
+    """Assign every client to its Lemma-1 optimal hub among ``hubs``.
+
+    Ties are broken deterministically by the candidate ordering of the cost
+    model so that repeated runs produce identical plans.
+    """
+    hub_list = [hub for hub in problem.candidates if hub in set(hubs)]
+    if not hub_list:
+        raise ValueError("cannot assign clients: the placement is empty")
+    sync_part = {hub: assignment_key(problem, hub_list, hub) for hub in hub_list}
+    assignment: Dict[NodeId, NodeId] = {}
+    for client in problem.clients:
+        zeta_row = problem.costs.zeta[client]
+        best_hub = min(hub_list, key=lambda hub: sync_part[hub] + zeta_row[hub])
+        assignment[client] = best_hub
+    return assignment
+
+
+def plan_for_placement(
+    problem: PlacementProblem,
+    hubs: Iterable[NodeId],
+    method: str = "lemma1",
+) -> PlacementPlan:
+    """The full plan (with costs) induced by a placement via Lemma 1."""
+    hub_set = set(hubs)
+    assignment = optimal_assignment(problem, hub_set)
+    return problem.make_plan(hub_set, assignment, method=method)
+
+
+def placement_cost(problem: PlacementProblem, hubs: Iterable[NodeId]) -> float:
+    """Balance cost of a placement under its optimal assignment.
+
+    This is the set function ``f(X)`` of equation (14); it is the objective
+    both exact and approximate placement solvers optimize over subsets of the
+    candidate set.  An empty placement is infeasible and maps to ``+inf``.
+    """
+    hub_set = set(hubs)
+    if not hub_set:
+        return float("inf")
+    assignment = optimal_assignment(problem, hub_set)
+    return problem.balance_cost(hub_set, assignment)
+
+
+def is_assignment_optimal(
+    problem: PlacementProblem,
+    plan: PlacementPlan,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether no single client could switch hubs and lower the balance cost.
+
+    Used by tests to verify Lemma 1: for every client, its assigned hub must
+    achieve the minimum of ``omega * sum_l delta[n][l] + zeta[m][n]`` over
+    the placed hubs.
+    """
+    hub_list = [hub for hub in problem.candidates if hub in plan.hubs]
+    sync_part = {hub: assignment_key(problem, hub_list, hub) for hub in hub_list}
+    for client, assigned in plan.assignment.items():
+        zeta_row = problem.costs.zeta[client]
+        current = sync_part[assigned] + zeta_row[assigned]
+        best = min(sync_part[hub] + zeta_row[hub] for hub in hub_list)
+        if current > best + tolerance:
+            return False
+    return True

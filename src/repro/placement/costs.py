@@ -1,0 +1,200 @@
+"""Cost model for the PCH placement problem.
+
+The paper defines three edge-wise cost parameters, all probed from the
+network during the previous long period:
+
+* ``zeta[m][n]``   -- management cost of assigning client ``m`` to smooth
+  node ``n`` (paper setting: ``0.02 * hops(m, n)``),
+* ``delta[n][l]``  -- per-client synchronization cost between smooth nodes
+  ``n`` and ``l`` (paper setting: ``0.01 * hops(n, l)``),
+* ``epsilon[n][l]`` -- constant synchronization cost between smooth nodes
+  (paper setting: ``0.05 * hops(n, l)``).
+
+:class:`PlacementCostModel` stores these matrices and exposes the balance
+cost ``C_B = C_M + omega * C_S`` of equations (3)-(5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+
+#: Paper's coefficient for the management cost per hop (section V-A).
+PAPER_ZETA_PER_HOP = 0.02
+#: Paper's coefficient for the per-client synchronization cost per hop.
+PAPER_DELTA_PER_HOP = 0.01
+#: Paper's coefficient for the constant synchronization cost per hop.
+PAPER_EPSILON_PER_HOP = 0.05
+
+
+@dataclass
+class PlacementCostModel:
+    """Cost matrices of the placement problem.
+
+    Attributes:
+        clients: Ordered client node ids (``V_CLI``).
+        candidates: Ordered candidate smooth-node ids (``V_SNC``).
+        zeta: ``zeta[m][n]`` management cost for client ``m``, candidate ``n``.
+        delta: ``delta[n][l]`` per-client synchronization cost between candidates.
+        epsilon: ``epsilon[n][l]`` constant synchronization cost between candidates.
+    """
+
+    clients: List[NodeId]
+    candidates: List[NodeId]
+    zeta: Dict[NodeId, Dict[NodeId, float]]
+    delta: Dict[NodeId, Dict[NodeId, float]]
+    epsilon: Dict[NodeId, Dict[NodeId, float]]
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("the placement problem needs at least one candidate")
+        for client in self.clients:
+            row = self.zeta.get(client)
+            if row is None or any(candidate not in row for candidate in self.candidates):
+                raise ValueError(f"zeta is missing entries for client {client!r}")
+        for n in self.candidates:
+            for matrix_name, matrix in (("delta", self.delta), ("epsilon", self.epsilon)):
+                row = matrix.get(n)
+                if row is None or any(l not in row for l in self.candidates):
+                    raise ValueError(f"{matrix_name} is missing entries for candidate {n!r}")
+
+    # ------------------------------------------------------------------ #
+    # cost evaluation (equations 3-5)
+    # ------------------------------------------------------------------ #
+    def management_cost(self, assignment: Mapping[NodeId, NodeId]) -> float:
+        """``C_M(y)``: total client-to-hub management cost for an assignment."""
+        total = 0.0
+        for client, hub in assignment.items():
+            total += self.zeta[client][hub]
+        return total
+
+    def synchronization_cost(
+        self,
+        hubs: Iterable[NodeId],
+        assignment: Mapping[NodeId, NodeId],
+    ) -> float:
+        """``C_S(x, y)``: total hub-to-hub synchronization cost.
+
+        Following equation (4), every ordered pair of placed hubs ``(n, l)``
+        contributes ``delta[n][l] * |clients assigned to n| + epsilon[n][l]``.
+        """
+        hub_list = list(hubs)
+        clients_per_hub: Dict[NodeId, int] = {hub: 0 for hub in hub_list}
+        for hub in assignment.values():
+            if hub in clients_per_hub:
+                clients_per_hub[hub] += 1
+        total = 0.0
+        for n in hub_list:
+            for l in hub_list:
+                total += self.delta[n][l] * clients_per_hub[n] + self.epsilon[n][l]
+        return total
+
+    def balance_cost(
+        self,
+        hubs: Iterable[NodeId],
+        assignment: Mapping[NodeId, NodeId],
+        omega: float,
+    ) -> float:
+        """``C_B = C_M + omega * C_S`` (equation 5)."""
+        return self.management_cost(assignment) + omega * self.synchronization_cost(hubs, assignment)
+
+    def assignment_cost(self, client: NodeId, hub: NodeId, hubs: Sequence[NodeId], omega: float) -> float:
+        """Marginal cost of assigning ``client`` to ``hub`` given placed ``hubs``.
+
+        This is the quantity minimized in Lemma 1:
+        ``omega * sum_l delta[hub][l] + zeta[client][hub]``.
+        """
+        return omega * sum(self.delta[hub][l] for l in hubs) + self.zeta[client][hub]
+
+    def has_uniform_delta(self, tolerance: float = 1e-9) -> bool:
+        """Whether all off-diagonal delta entries are equal (Lemma 2's condition)."""
+        values = [
+            self.delta[n][l]
+            for n in self.candidates
+            for l in self.candidates
+            if n != l
+        ]
+        if not values:
+            return True
+        return max(values) - min(values) <= tolerance
+
+
+def cost_model_from_network(
+    network: PCNetwork,
+    clients: Optional[Sequence[NodeId]] = None,
+    candidates: Optional[Sequence[NodeId]] = None,
+    zeta_per_hop: float = PAPER_ZETA_PER_HOP,
+    delta_per_hop: float = PAPER_DELTA_PER_HOP,
+    epsilon_per_hop: float = PAPER_EPSILON_PER_HOP,
+    uniform_delta: bool = False,
+) -> PlacementCostModel:
+    """Probe hop-count based costs from a PCN, as the candidates do in the paper.
+
+    Args:
+        network: The PCN to probe.
+        clients: Client set; defaults to the network's client-role nodes.
+        candidates: Candidate set; defaults to the network's candidate/hub nodes.
+        zeta_per_hop: Management cost per communication hop.
+        delta_per_hop: Per-client synchronization cost per hop.
+        epsilon_per_hop: Constant synchronization cost per hop.
+        uniform_delta: Replace the hop-based delta with its mean value, which
+            makes the objective provably supermodular (Lemma 2's uniform-cost
+            case) -- used by the large-scale approximation experiments.
+    """
+    client_list = list(clients) if clients is not None else network.clients()
+    candidate_list = list(candidates) if candidates is not None else network.candidates()
+    if not candidate_list:
+        raise ValueError("the network has no candidate smooth nodes")
+
+    hop_from_candidate: Dict[NodeId, Dict[NodeId, int]] = {
+        candidate: network.hop_counts_from(candidate) for candidate in candidate_list
+    }
+    fallback_hops = max(network.node_count(), 2)
+
+    zeta: Dict[NodeId, Dict[NodeId, float]] = {}
+    for client in client_list:
+        zeta[client] = {}
+        for candidate in candidate_list:
+            hops = hop_from_candidate[candidate].get(client, fallback_hops)
+            zeta[client][candidate] = zeta_per_hop * hops
+
+    delta: Dict[NodeId, Dict[NodeId, float]] = {}
+    epsilon: Dict[NodeId, Dict[NodeId, float]] = {}
+    for n in candidate_list:
+        delta[n] = {}
+        epsilon[n] = {}
+        for l in candidate_list:
+            hops = 0 if n == l else hop_from_candidate[n].get(l, fallback_hops)
+            delta[n][l] = delta_per_hop * hops
+            epsilon[n][l] = epsilon_per_hop * hops
+
+    model = PlacementCostModel(client_list, candidate_list, zeta, delta, epsilon)
+    if uniform_delta:
+        model = uniformize_delta(model)
+    return model
+
+
+def uniformize_delta(model: PlacementCostModel) -> PlacementCostModel:
+    """Replace off-diagonal delta entries by their mean (Lemma 2's uniform case)."""
+    off_diagonal = [
+        model.delta[n][l]
+        for n in model.candidates
+        for l in model.candidates
+        if n != l
+    ]
+    mean_delta = sum(off_diagonal) / len(off_diagonal) if off_diagonal else 0.0
+    delta = {
+        n: {l: (0.0 if n == l else mean_delta) for l in model.candidates}
+        for n in model.candidates
+    }
+    return PlacementCostModel(
+        clients=list(model.clients),
+        candidates=list(model.candidates),
+        zeta={m: dict(row) for m, row in model.zeta.items()},
+        delta=delta,
+        epsilon={n: dict(row) for n, row in model.epsilon.items()},
+    )

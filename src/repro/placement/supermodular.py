@@ -1,0 +1,248 @@
+"""Large-scale approximate placement via supermodular minimization.
+
+For large networks the MILP becomes intractable, so the paper minimizes the
+set function ``f(X) = C_B(x_X, y(x_X))`` (equation 14) by maximizing its
+submodular complement ``g(X) = f_ub - f(X)`` with the Buchbinder et al.
+double-greedy algorithm (Algorithm 1 in the paper), which carries a tight
+1/2 approximation guarantee for unconstrained submodular maximization.
+
+This module implements:
+
+* :func:`placement_objective` -- the set function ``f``,
+* :func:`objective_upper_bound` -- a valid ``f_ub``,
+* :func:`double_greedy_placement` -- Algorithm 1 (randomized, or the
+  deterministic variant when ``deterministic=True``), with an optional
+  single-swap local-search polish,
+* :func:`is_supermodular` -- an exhaustive/sampled checker for the
+  supermodularity property (used to validate Lemma 2's uniform-cost case).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.placement.assignment import plan_for_placement, placement_cost
+from repro.placement.problem import PlacementPlan, PlacementProblem
+
+NodeId = Hashable
+
+
+def placement_objective(problem: PlacementProblem, subset: Iterable[NodeId]) -> float:
+    """The set function ``f(X)``: balance cost of placement ``X`` under Lemma 1.
+
+    The empty placement is infeasible; it is mapped to the objective upper
+    bound so that the double-greedy arithmetic stays finite while the empty
+    set remains unattractive.
+    """
+    subset = set(subset)
+    if not subset:
+        return objective_upper_bound(problem)
+    return placement_cost(problem, subset)
+
+
+def objective_upper_bound(problem: PlacementProblem) -> float:
+    """A finite ``f_ub`` with ``f_ub >= f(X)`` for every non-empty placement ``X``.
+
+    Management cost is bounded by assigning every client to its worst
+    candidate; synchronization cost is bounded by placing every candidate and
+    charging every pair for the full client population.
+    """
+    costs = problem.costs
+    management_bound = sum(
+        max(costs.zeta[client][candidate] for candidate in problem.candidates)
+        for client in problem.clients
+    )
+    client_count = len(problem.clients)
+    synchronization_bound = sum(
+        costs.delta[n][l] * client_count + costs.epsilon[n][l]
+        for n in problem.candidates
+        for l in problem.candidates
+    )
+    return management_bound + problem.omega * synchronization_bound + 1.0
+
+
+def double_greedy_placement(
+    problem: PlacementProblem,
+    deterministic: bool = False,
+    local_search: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    element_order: Optional[Sequence[NodeId]] = None,
+) -> PlacementPlan:
+    """Algorithm 1: double-greedy placement approximation.
+
+    Args:
+        problem: The placement instance.
+        deterministic: Use the deterministic variant (keep/drop by comparing
+            marginal gains) instead of the randomized 1/2-approximation.
+        local_search: Apply a single-element add/remove local search to the
+            double-greedy output; this never worsens the plan and mirrors the
+            "community keeps optimizing" behaviour of the paper's contract.
+        rng: Random generator used by the randomized variant.
+        seed: Seed for a fresh generator when ``rng`` is not supplied.
+        element_order: Candidate processing order ``u_1 .. u_z`` (defaults to
+            the problem's candidate order).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    candidates = list(element_order) if element_order is not None else list(problem.candidates)
+    if set(candidates) != set(problem.candidates):
+        raise ValueError("element_order must be a permutation of the candidate set")
+
+    f_ub = objective_upper_bound(problem)
+
+    def g(subset: Set[NodeId]) -> float:
+        return f_ub - placement_objective(problem, subset)
+
+    lower: Set[NodeId] = set()
+    upper: Set[NodeId] = set(candidates)
+    g_lower = g(lower)
+    g_upper = g(upper)
+
+    for element in candidates:
+        with_element = lower | {element}
+        without_element = upper - {element}
+        g_with = g(with_element)
+        g_without = g(without_element)
+        gain_add = g_with - g_lower
+        gain_remove = g_without - g_upper
+        add_gain = max(gain_add, 0.0)
+        remove_gain = max(gain_remove, 0.0)
+        if add_gain == 0.0 and remove_gain == 0.0:
+            take_add = True  # line 10 of Algorithm 1
+        elif deterministic:
+            take_add = gain_add >= gain_remove
+        else:
+            take_add = rng.random() < add_gain / (add_gain + remove_gain)
+        if take_add:
+            lower = with_element
+            g_lower = g_with
+        else:
+            upper = without_element
+            g_upper = g_without
+
+    assert lower == upper, "double greedy must converge to a single solution"
+    solution = lower
+    if not solution:
+        # Infeasible corner case (can only happen on degenerate cost models):
+        # fall back to the single cheapest hub.
+        solution = {min(candidates, key=lambda c: placement_cost(problem, {c}))}
+
+    if local_search:
+        solution = _local_search(problem, solution)
+
+    return plan_for_placement(problem, solution, method="double-greedy")
+
+
+def _local_search(problem: PlacementProblem, solution: Set[NodeId]) -> Set[NodeId]:
+    """Single add/remove local search; stops at a local optimum."""
+    current = set(solution)
+    current_cost = placement_objective(problem, current)
+    improved = True
+    while improved:
+        improved = False
+        for candidate in problem.candidates:
+            if candidate in current:
+                if len(current) == 1:
+                    continue
+                trial = current - {candidate}
+            else:
+                trial = current | {candidate}
+            trial_cost = placement_objective(problem, trial)
+            if trial_cost < current_cost - 1e-12:
+                current = trial
+                current_cost = trial_cost
+                improved = True
+    return current
+
+
+def greedy_descent_placement(problem: PlacementProblem) -> PlacementPlan:
+    """A simple greedy-descent baseline: start from all candidates, drop while it helps.
+
+    Provided as an ablation against the double-greedy algorithm; it has no
+    approximation guarantee for non-monotone objectives.
+    """
+    current: Set[NodeId] = set(problem.candidates)
+    current_cost = placement_objective(problem, current)
+    improved = True
+    while improved and len(current) > 1:
+        improved = False
+        best_candidate = None
+        best_cost = current_cost
+        for candidate in current:
+            trial_cost = placement_objective(problem, current - {candidate})
+            if trial_cost < best_cost - 1e-12:
+                best_cost = trial_cost
+                best_candidate = candidate
+        if best_candidate is not None:
+            current.remove(best_candidate)
+            current_cost = best_cost
+            improved = True
+    return plan_for_placement(problem, current, method="greedy-descent")
+
+
+def is_supermodular(
+    problem: PlacementProblem,
+    max_subset_size: Optional[int] = None,
+    sample_checks: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check definition 2 (supermodularity) of the objective on an instance.
+
+    For every pair of nested subsets ``A ⊆ B`` and element ``i ∉ B`` the
+    marginal increase at ``B`` must be at least the marginal increase at
+    ``A``.  Exhaustive over all subsets when the candidate set is small;
+    ``sample_checks`` random triples otherwise.
+    """
+    candidates = list(problem.candidates)
+    z = len(candidates)
+    if sample_checks is None and z > 12:
+        raise ValueError("exhaustive supermodularity check is limited to 12 candidates")
+
+    def f(subset: Tuple[NodeId, ...]) -> float:
+        return placement_objective(problem, subset)
+
+    if sample_checks is not None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        for _ in range(sample_checks):
+            mask_b = rng.random(z) < 0.5
+            b = {c for c, take in zip(candidates, mask_b) if take}
+            if len(b) >= z:
+                continue
+            a = {c for c in b if rng.random() < 0.5}
+            outside = [c for c in candidates if c not in b]
+            i = outside[int(rng.integers(len(outside)))]
+            lhs = f(tuple(a | {i})) - f(tuple(a))
+            rhs = f(tuple(b | {i})) - f(tuple(b))
+            if lhs > rhs + tolerance:
+                return False
+        return True
+
+    limit = z if max_subset_size is None else min(max_subset_size, z)
+    cache: Dict[FrozenSet[NodeId], float] = {}
+
+    def f_cached(subset: FrozenSet[NodeId]) -> float:
+        if subset not in cache:
+            cache[subset] = f(tuple(subset))
+        return cache[subset]
+
+    subsets: List[Tuple[NodeId, ...]] = []
+    for size in range(0, limit + 1):
+        subsets.extend(combinations(candidates, size))
+    for b in subsets:
+        b_set = frozenset(b)
+        outside = [c for c in candidates if c not in b_set]
+        for size in range(0, len(b) + 1):
+            for a in combinations(b, size):
+                a_set = frozenset(a)
+                for i in outside:
+                    lhs = f_cached(a_set | {i}) - f_cached(a_set)
+                    rhs = f_cached(b_set | {i}) - f_cached(b_set)
+                    if lhs > rhs + tolerance:
+                        return False
+    return True

@@ -1,0 +1,53 @@
+"""Rate-based deadlock-free routing (paper section IV-D).
+
+The routing layer turns a payment demand into transaction units (TUs),
+chooses a set of paths for them, and controls the per-path sending rates
+from two kinds of channel prices:
+
+* the *capacity price* (lambda) rises when the funds required to sustain the
+  current rates exceed the channel capacity,
+* the *imbalance price* (mu) rises in the direction that carries more value
+  than the reverse direction, steering flow back towards balance -- this is
+  what prevents the local deadlocks of section II-B.
+
+Congestion control (per-channel queues, delay marking and per-path windows)
+bounds the number of in-flight TUs, and pluggable schedulers decide the
+order in which queued TUs are served.
+"""
+
+from repro.routing.congestion import CongestionController, PathWindow
+from repro.routing.paths import (
+    PathSelector,
+    edge_disjoint_shortest_paths,
+    edge_disjoint_widest_paths,
+    get_path_selector,
+    heuristic_widest_paths,
+    k_shortest_paths,
+)
+from repro.routing.prices import ChannelPrices, PriceTable
+from repro.routing.rate_control import PathRateController
+from repro.routing.router import RateRouter, RoutingDecision
+from repro.routing.scheduling import SCHEDULERS, get_scheduler
+from repro.routing.transaction import Payment, PaymentStatus, TransactionUnit, split_value
+
+__all__ = [
+    "Payment",
+    "PaymentStatus",
+    "TransactionUnit",
+    "split_value",
+    "PathSelector",
+    "get_path_selector",
+    "k_shortest_paths",
+    "heuristic_widest_paths",
+    "edge_disjoint_widest_paths",
+    "edge_disjoint_shortest_paths",
+    "ChannelPrices",
+    "PriceTable",
+    "PathRateController",
+    "CongestionController",
+    "PathWindow",
+    "SCHEDULERS",
+    "get_scheduler",
+    "RateRouter",
+    "RoutingDecision",
+]

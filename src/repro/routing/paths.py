@@ -1,0 +1,211 @@
+"""Path selection strategies (Table II of the paper).
+
+Four path types are evaluated by the paper:
+
+* ``ksp``       -- the plain k-shortest (fewest hops) simple paths,
+* ``heuristic`` -- k feasible paths with the highest channel funds,
+* ``edw``       -- edge-disjoint widest paths (the default in Splicer),
+* ``eds``       -- edge-disjoint shortest paths.
+
+All selectors operate on the current spendable balances of a
+:class:`~repro.topology.network.PCNetwork`, i.e. the directional liquidity a
+sender could actually push through the path right now.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+Path = List[NodeId]
+PathSelector = Callable[[PCNetwork, NodeId, NodeId, int], List[Path]]
+
+#: How many shortest candidates the heuristic selector ranks by liquidity.
+_HEURISTIC_CANDIDATE_POOL = 20
+
+
+def k_shortest_paths(network: PCNetwork, source: NodeId, target: NodeId, k: int) -> List[Path]:
+    """Up to ``k`` loop-free shortest paths by hop count (the KSP column)."""
+    if k <= 0 or source == target:
+        return []
+    try:
+        return network.shortest_paths(source, target, k)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return []
+
+
+def heuristic_widest_paths(
+    network: PCNetwork, source: NodeId, target: NodeId, k: int
+) -> List[Path]:
+    """Pick the ``k`` candidate paths with the highest bottleneck funds.
+
+    Mirrors the paper's "heuristic" choice: enumerate a pool of feasible
+    (shortest) paths and keep the ones with the largest channel funds.
+    """
+    if k <= 0 or source == target:
+        return []
+    pool = k_shortest_paths(network, source, target, max(k, _HEURISTIC_CANDIDATE_POOL))
+    ranked = sorted(pool, key=lambda path: network.path_capacity(path), reverse=True)
+    return ranked[:k]
+
+
+def _widest_path(
+    graph: nx.Graph,
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    excluded_edges: Set[frozenset],
+) -> Optional[Path]:
+    """Maximum-bottleneck path over directional spendable balances.
+
+    A Dijkstra variant where the path metric is the minimum directional
+    balance along the path and we maximize that minimum.  Edges in
+    ``excluded_edges`` are skipped (used to enforce edge-disjointness).
+    """
+    best_width: Dict[NodeId, float] = {source: float("inf")}
+    previous: Dict[NodeId, NodeId] = {}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, NodeId]] = [(-float("inf"), next(counter), source)]
+    visited: Set[NodeId] = set()
+    while heap:
+        negative_width, _, node = heapq.heappop(heap)
+        width = -negative_width
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        for neighbor in graph.neighbors(node):
+            edge_key = frozenset((node, neighbor))
+            if edge_key in excluded_edges or neighbor in visited:
+                continue
+            available = network.channel(node, neighbor).balance(node)
+            if available <= 0:
+                continue
+            new_width = min(width, available)
+            if new_width > best_width.get(neighbor, 0.0):
+                best_width[neighbor] = new_width
+                previous[neighbor] = node
+                heapq.heappush(heap, (-new_width, next(counter), neighbor))
+    if target not in best_width or target not in previous and target != source:
+        return None
+    path: Path = [target]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return path
+
+
+def edge_disjoint_widest_paths(
+    network: PCNetwork, source: NodeId, target: NodeId, k: int
+) -> List[Path]:
+    """Up to ``k`` edge-disjoint widest paths (the EDW column, Splicer's default)."""
+    if k <= 0 or source == target:
+        return []
+    graph = network.graph
+    excluded: Set[frozenset] = set()
+    paths: List[Path] = []
+    for _ in range(k):
+        path = _widest_path(graph, network, source, target, excluded)
+        if path is None or len(path) < 2:
+            break
+        paths.append(path)
+        for a, b in zip(path, path[1:]):
+            excluded.add(frozenset((a, b)))
+    return paths
+
+
+def edge_disjoint_shortest_paths(
+    network: PCNetwork, source: NodeId, target: NodeId, k: int
+) -> List[Path]:
+    """Up to ``k`` edge-disjoint shortest (fewest hops) paths (the EDS column)."""
+    if k <= 0 or source == target:
+        return []
+    working = nx.Graph(network.graph.edges())
+    paths: List[Path] = []
+    for _ in range(k):
+        try:
+            path = nx.shortest_path(working, source, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            break
+        if len(path) < 2:
+            break
+        paths.append(list(path))
+        working.remove_edges_from(list(zip(path, path[1:])))
+    return paths
+
+
+def landmark_paths(
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    landmarks: Sequence[NodeId],
+) -> List[Path]:
+    """Paths through well-connected landmark nodes (landmark-routing baseline).
+
+    For each landmark, the path is the shortest source->landmark path joined
+    with the shortest landmark->target path (duplicate nodes collapsed).  At
+    most ``k`` distinct loop-free paths are returned.
+    """
+    if k <= 0 or source == target:
+        return []
+    paths: List[Path] = []
+    seen: Set[Tuple[NodeId, ...]] = set()
+    for landmark in landmarks:
+        if len(paths) >= k:
+            break
+        try:
+            first_leg = network.shortest_path(source, landmark)
+            second_leg = network.shortest_path(landmark, target)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+        combined = list(first_leg) + list(second_leg[1:])
+        deduplicated = _remove_loops(combined)
+        key = tuple(deduplicated)
+        if len(deduplicated) < 2 or key in seen:
+            continue
+        seen.add(key)
+        paths.append(deduplicated)
+    return paths
+
+
+def _remove_loops(path: Sequence[NodeId]) -> Path:
+    """Collapse repeated nodes so the path is simple."""
+    result: Path = []
+    positions: Dict[NodeId, int] = {}
+    for node in path:
+        if node in positions:
+            cut = positions[node]
+            for removed in result[cut + 1 :]:
+                positions.pop(removed, None)
+            result = result[: cut + 1]
+        else:
+            positions[node] = len(result)
+            result.append(node)
+    return result
+
+
+#: Registry of path selectors keyed by the names used in Table II.
+PATH_SELECTORS: Dict[str, PathSelector] = {
+    "ksp": k_shortest_paths,
+    "heuristic": heuristic_widest_paths,
+    "edw": edge_disjoint_widest_paths,
+    "eds": edge_disjoint_shortest_paths,
+}
+
+
+def get_path_selector(name: str) -> PathSelector:
+    """Look up a path selector by its Table-II name (``ksp``/``heuristic``/``edw``/``eds``)."""
+    try:
+        return PATH_SELECTORS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown path type {name!r}; expected one of {sorted(PATH_SELECTORS)}"
+        ) from None

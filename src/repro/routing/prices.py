@@ -1,0 +1,213 @@
+"""Channel pricing: capacity prices, imbalance prices, routing price and fee.
+
+Equations (21)-(25) of the paper.  Every channel ``(a, b)`` carries
+
+* one *capacity price* ``lambda_ab`` that rises when the funds needed to
+  sustain the current rates in both directions exceed the channel capacity,
+* two *imbalance prices* ``mu_ab`` and ``mu_ba`` that rise in the direction
+  that recently carried more value than the reverse direction,
+
+and exposes the derived per-direction *routing price*
+``xi_ab = 2 lambda_ab + mu_ab - mu_ba`` and forwarding fee
+``fee_ab = T_fee * xi_ab``.  The routing price of a path is
+``(1 + T_fee) * sum of xi`` along the path.  Prices are updated every
+``tau`` seconds from observations accumulated since the previous update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Sequence, Tuple
+
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+ChannelKey = Tuple[NodeId, NodeId]
+
+#: Paper defaults for the price controller.
+DEFAULT_KAPPA = 0.01
+DEFAULT_ETA = 0.01
+DEFAULT_T_FEE = 0.01
+
+
+def channel_key(node_a: NodeId, node_b: NodeId) -> ChannelKey:
+    """Canonical (order-independent) key for a channel."""
+    first, second = sorted((node_a, node_b), key=repr)
+    return (first, second)
+
+
+@dataclass
+class ChannelPrices:
+    """Price state and per-interval observations for one channel.
+
+    Attributes:
+        node_a: First endpoint (canonical order).
+        node_b: Second endpoint (canonical order).
+        capacity: Total channel capacity ``c_ab``.
+        capacity_price: ``lambda_ab`` (shared by both directions).
+        imbalance_price: Per-direction ``mu``; key is the sending endpoint.
+        required_funds: Per-endpoint funds needed to sustain current rates
+            (``n_a``, ``n_b``), reported by the rate controller.
+        arrived_value: Value that entered the channel from each endpoint since
+            the last price update (``m_a``, ``m_b``).
+    """
+
+    node_a: NodeId
+    node_b: NodeId
+    capacity: float
+    capacity_price: float = 0.0
+    imbalance_price: Dict[NodeId, float] = field(default_factory=dict)
+    required_funds: Dict[NodeId, float] = field(default_factory=dict)
+    arrived_value: Dict[NodeId, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in (self.node_a, self.node_b):
+            self.imbalance_price.setdefault(node, 0.0)
+            self.required_funds.setdefault(node, 0.0)
+            self.arrived_value.setdefault(node, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # observations
+    # ------------------------------------------------------------------ #
+    def observe_arrival(self, sender: NodeId, value: float) -> None:
+        """Record value sent into the channel from ``sender`` this interval."""
+        self._check(sender)
+        self.arrived_value[sender] += value
+
+    def set_required_funds(self, node: NodeId, funds: float) -> None:
+        """Set ``n_node``: the funds needed to sustain the node's sending rate."""
+        self._check(node)
+        self.required_funds[node] = max(funds, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # price updates (equations 21-22)
+    # ------------------------------------------------------------------ #
+    def update(self, kappa: float, eta: float, decay: float = 0.0) -> None:
+        """Apply one price-update step and reset the interval observations.
+
+        Equations (21)-(22) with the excess/imbalance terms normalized by the
+        channel capacity, so that one step size works across the heavy-tailed
+        range of channel sizes (the paper tunes kappa/eta on one testbed;
+        normalization plays the same role here).
+
+        ``decay`` leaks a small fraction of both prices per update.  Without
+        it a direction that stops carrying traffic keeps its last price
+        forever (no observations means no updates), so a throttled direction
+        would never be retried; the decay lets prices relax and blocked
+        directions probe again once conditions may have improved.
+        """
+        scale = max(self.capacity, 1e-9)
+        total_required = self.required_funds[self.node_a] + self.required_funds[self.node_b]
+        self.capacity_price = max(
+            0.0, self.capacity_price + kappa * (total_required - self.capacity) / scale
+        )
+        arrived_a = self.arrived_value[self.node_a]
+        arrived_b = self.arrived_value[self.node_b]
+        delta = eta * (arrived_a - arrived_b) / scale
+        self.imbalance_price[self.node_a] = max(0.0, self.imbalance_price[self.node_a] + delta)
+        self.imbalance_price[self.node_b] = max(0.0, self.imbalance_price[self.node_b] - delta)
+        if decay > 0.0:
+            keep = max(0.0, 1.0 - decay)
+            self.capacity_price *= keep
+            self.imbalance_price[self.node_a] *= keep
+            self.imbalance_price[self.node_b] *= keep
+        self.arrived_value = {self.node_a: 0.0, self.node_b: 0.0}
+
+    # ------------------------------------------------------------------ #
+    # derived prices (equations 23-24)
+    # ------------------------------------------------------------------ #
+    def routing_price(self, sender: NodeId) -> float:
+        """``xi`` for the ``sender -> other`` direction."""
+        self._check(sender)
+        receiver = self.node_b if sender == self.node_a else self.node_a
+        return (
+            2.0 * self.capacity_price
+            + self.imbalance_price[sender]
+            - self.imbalance_price[receiver]
+        )
+
+    def forwarding_fee(self, sender: NodeId, t_fee: float) -> float:
+        """Fee the sender-side hub pays the receiver-side hub (equation 24)."""
+        return max(0.0, t_fee * self.routing_price(sender))
+
+    def _check(self, node: NodeId) -> None:
+        if node not in (self.node_a, self.node_b):
+            raise KeyError(f"{node!r} is not an endpoint of channel {self.node_a!r}-{self.node_b!r}")
+
+
+class PriceTable:
+    """All channel prices of a PCN plus the path-level price queries.
+
+    The table is the state each smooth node synchronizes at epoch boundaries;
+    probes sent along candidate paths read it to compute path routing prices.
+    """
+
+    def __init__(
+        self,
+        network: PCNetwork,
+        kappa: float = DEFAULT_KAPPA,
+        eta: float = DEFAULT_ETA,
+        t_fee: float = DEFAULT_T_FEE,
+        decay: float = 0.0,
+    ) -> None:
+        if not 0.0 < t_fee < 1.0:
+            raise ValueError("T_fee must be in (0, 1)")
+        self.network = network
+        self.kappa = float(kappa)
+        self.eta = float(eta)
+        self.t_fee = float(t_fee)
+        self.decay = float(decay)
+        self._prices: Dict[ChannelKey, ChannelPrices] = {}
+        for channel in network.channels():
+            key = channel_key(channel.node_a, channel.node_b)
+            self._prices[key] = ChannelPrices(key[0], key[1], channel.capacity)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    def prices(self, node_a: NodeId, node_b: NodeId) -> ChannelPrices:
+        """Price state of the channel between two adjacent nodes."""
+        try:
+            return self._prices[channel_key(node_a, node_b)]
+        except KeyError:
+            raise KeyError(f"no priced channel between {node_a!r} and {node_b!r}") from None
+
+    def all_prices(self) -> Iterable[ChannelPrices]:
+        """Iterate over every channel's price state."""
+        return self._prices.values()
+
+    # ------------------------------------------------------------------ #
+    # observations and updates
+    # ------------------------------------------------------------------ #
+    def observe_transfer(self, sender: NodeId, receiver: NodeId, value: float) -> None:
+        """Record that ``value`` moved ``sender -> receiver`` this interval."""
+        self.prices(sender, receiver).observe_arrival(sender, value)
+
+    def set_required_funds(self, sender: NodeId, receiver: NodeId, funds: float) -> None:
+        """Report the funds needed to sustain the sender's rate on a channel."""
+        self.prices(sender, receiver).set_required_funds(sender, funds)
+
+    def update_all(self) -> None:
+        """Run the per-interval price update (equations 21-22) on every channel."""
+        for prices in self._prices.values():
+            prices.update(self.kappa, self.eta, self.decay)
+
+    # ------------------------------------------------------------------ #
+    # path-level queries (equation 25)
+    # ------------------------------------------------------------------ #
+    def channel_price(self, sender: NodeId, receiver: NodeId) -> float:
+        """Routing price ``xi`` of one directed channel hop."""
+        return self.prices(sender, receiver).routing_price(sender)
+
+    def channel_fee(self, sender: NodeId, receiver: NodeId) -> float:
+        """Forwarding fee of one directed channel hop."""
+        return self.prices(sender, receiver).forwarding_fee(sender, self.t_fee)
+
+    def path_price(self, path: Sequence[NodeId]) -> float:
+        """Total routing price ``rho_p = (1 + T_fee) * sum xi`` along a path."""
+        total = sum(self.channel_price(a, b) for a, b in zip(path, path[1:]))
+        return (1.0 + self.t_fee) * total
+
+    def path_fee(self, path: Sequence[NodeId]) -> float:
+        """Total forwarding fees the sender pays along a path."""
+        return sum(self.channel_fee(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,209 @@
+"""Price-based per-path rate control (equations 16-20 and 26).
+
+Every source-destination pair maintains one sending rate per path.  The
+controller performs gradient steps on the utility-minus-price objective:
+``r_p <- r_p + alpha * (U'(r) - rho_p)`` where ``U`` is the logarithmic
+utility of the pair's total rate (so ``U'(r) = 1 / sum_p r_p``) and
+``rho_p`` is the path routing price from the :class:`~repro.routing.prices.PriceTable`.
+Rates are kept non-negative and, when a demand estimate is known, scaled so
+the demand constraint (17) is respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.routing.prices import PriceTable
+
+NodeId = Hashable
+Pair = Tuple[NodeId, NodeId]
+Path = Tuple[NodeId, ...]
+
+#: Paper-inspired defaults for the rate controller.
+DEFAULT_ALPHA = 0.5
+DEFAULT_MIN_RATE = 0.1
+DEFAULT_INITIAL_RATE = 2.0
+
+
+@dataclass
+class PairRateState:
+    """Per source-destination pair rate state.
+
+    Attributes:
+        source: Sending client (or hub) of the pair.
+        target: Receiving client (or hub) of the pair.
+        paths: Candidate paths currently registered for the pair.
+        rates: Sending rate (tokens/second) per path, aligned with ``paths``.
+        demand_rate: Optional cap on the pair's total rate derived from its
+            outstanding demand (the demand constraint of equation 17).
+    """
+
+    source: NodeId
+    target: NodeId
+    paths: List[Path] = field(default_factory=list)
+    rates: List[float] = field(default_factory=list)
+    demand_rate: Optional[float] = None
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate sending rate across the pair's paths."""
+        return sum(self.rates)
+
+    def path_rate(self, path: Path) -> float:
+        """Rate of a specific path (0.0 if the path is not registered)."""
+        try:
+            return self.rates[self.paths.index(path)]
+        except ValueError:
+            return 0.0
+
+
+class PathRateController:
+    """Maintains and updates the per-path rates of every active pair."""
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        min_rate: float = DEFAULT_MIN_RATE,
+        initial_rate: float = DEFAULT_INITIAL_RATE,
+        max_rate: Optional[float] = None,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if min_rate < 0:
+            raise ValueError("min_rate must be non-negative")
+        self.alpha = float(alpha)
+        self.min_rate = float(min_rate)
+        self.initial_rate = float(initial_rate)
+        self.max_rate = max_rate
+        self._pairs: Dict[Pair, PairRateState] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_pair(self, source: NodeId, target: NodeId, paths: Sequence[Sequence[NodeId]]) -> PairRateState:
+        """Register (or refresh) the candidate paths of a pair.
+
+        Existing rates are kept for paths that survive the refresh; new paths
+        start at the initial rate.
+        """
+        key = (source, target)
+        normalized = [tuple(path) for path in paths]
+        state = self._pairs.get(key)
+        if state is None:
+            state = PairRateState(source, target)
+            self._pairs[key] = state
+        old_rates = dict(zip(state.paths, state.rates))
+        state.paths = normalized
+        state.rates = [old_rates.get(path, self.initial_rate) for path in normalized]
+        return state
+
+    def pair_state(self, source: NodeId, target: NodeId) -> Optional[PairRateState]:
+        """The rate state of a pair, or ``None`` if it was never registered."""
+        return self._pairs.get((source, target))
+
+    def pairs(self) -> List[PairRateState]:
+        """All registered pair states."""
+        return list(self._pairs.values())
+
+    def set_demand_rate(self, source: NodeId, target: NodeId, demand_rate: Optional[float]) -> None:
+        """Set the demand-derived cap on the pair's total rate (equation 17)."""
+        state = self._pairs.get((source, target))
+        if state is not None:
+            state.demand_rate = demand_rate
+
+    def drop_pair(self, source: NodeId, target: NodeId) -> None:
+        """Forget a pair (e.g. when it has no outstanding demand left)."""
+        self._pairs.pop((source, target), None)
+
+    # ------------------------------------------------------------------ #
+    # rate updates (equation 26)
+    # ------------------------------------------------------------------ #
+    def update_rates(self, price_table: PriceTable) -> None:
+        """One gradient step on every registered pair."""
+        for state in self._pairs.values():
+            if not state.paths:
+                continue
+            total = max(state.total_rate, self.min_rate if self.min_rate > 0 else 1e-6)
+            marginal_utility = 1.0 / total
+            new_rates = []
+            for path, rate in zip(state.paths, state.rates):
+                price = price_table.path_price(path)
+                updated = rate + self.alpha * (marginal_utility - price)
+                updated = max(updated, self.min_rate)
+                if self.max_rate is not None:
+                    updated = min(updated, self.max_rate)
+                new_rates.append(updated)
+            state.rates = new_rates
+            self._enforce_demand(state)
+
+    def _enforce_demand(self, state: PairRateState) -> None:
+        """Scale rates down so the pair's total rate respects its demand cap."""
+        if state.demand_rate is None:
+            return
+        total = state.total_rate
+        if total <= state.demand_rate or total <= 0:
+            return
+        scale = state.demand_rate / total
+        state.rates = [rate * scale for rate in state.rates]
+
+    def boost_rates(
+        self,
+        source: NodeId,
+        target: NodeId,
+        target_total_rate: float,
+        per_path_caps: Optional[Dict[Path, float]] = None,
+    ) -> None:
+        """Raise the pair's rates towards a newly arrived demand.
+
+        The paper's abstract calls this the "dynamic adjustment strategy on
+        request processing rates": when a pair's outstanding demand needs a
+        higher total rate than the gradient updates currently provide, the
+        per-path rates are lifted to an equal share of the demand rate --
+        bounded by each path's capacity-derived cap (equation 18) -- and the
+        price-based updates then trim them back down wherever the network
+        cannot actually sustain them.
+        """
+        state = self._pairs.get((source, target))
+        if state is None or not state.paths or target_total_rate <= 0:
+            return
+        share = target_total_rate / len(state.paths)
+        new_rates = []
+        for path, rate in zip(state.paths, state.rates):
+            cap = None if per_path_caps is None else per_path_caps.get(path)
+            boosted = max(rate, share)
+            if cap is not None:
+                boosted = min(boosted, max(cap, self.min_rate))
+            if self.max_rate is not None:
+                boosted = min(boosted, self.max_rate)
+            new_rates.append(boosted)
+        state.rates = new_rates
+
+    # ------------------------------------------------------------------ #
+    # interactions with the price table
+    # ------------------------------------------------------------------ #
+    def report_required_funds(self, price_table: PriceTable, settlement_delay: float) -> None:
+        """Publish ``n_a`` / ``n_b`` (required funds) to the price table.
+
+        The funds a sender needs on a channel to sustain its rates is the sum
+        of ``rate * settlement_delay`` over every registered path that uses
+        the channel in that direction (section IV-D).
+        """
+        required: Dict[Tuple[NodeId, NodeId], float] = {}
+        for state in self._pairs.values():
+            for path, rate in zip(state.paths, state.rates):
+                for sender, receiver in zip(path, path[1:]):
+                    key = (sender, receiver)
+                    required[key] = required.get(key, 0.0) + rate * settlement_delay
+        for (sender, receiver), funds in required.items():
+            price_table.set_required_funds(sender, receiver, funds)
+
+    # ------------------------------------------------------------------ #
+    # allocation helpers used by the router
+    # ------------------------------------------------------------------ #
+    def step_budgets(self, source: NodeId, target: NodeId, dt: float) -> Dict[Path, float]:
+        """Value each path may send during a step of length ``dt`` (``rate * dt``)."""
+        state = self._pairs.get((source, target))
+        if state is None:
+            return {}
+        return {path: rate * dt for path, rate in zip(state.paths, state.rates)}

@@ -1,0 +1,503 @@
+"""The distributed routing decision engine (Algorithm 2).
+
+:class:`RateRouter` is the engine a smooth node runs: it accepts decrypted
+payment demands, splits them into transaction units, chooses a set of paths
+per source-destination pair, and dispatches units under three controls:
+
+* the *rate controller* adjusts per-path sending rates from routing prices
+  (capacity price + imbalance price), keeping channels balanced and thus the
+  network deadlock-free,
+* the *congestion controller* bounds in-flight units per path (windows),
+  queues what cannot be sent, and marks overdue units,
+* the configured *scheduler* decides the order in which queued units are
+  served.
+
+Transfers are executed against the shared :class:`~repro.topology.network.PCNetwork`
+with HTLC-style lock/settle semantics: funds are locked hop by hop when a
+unit is dispatched and settle forward after the path's propagation delay, so
+liquidity is genuinely unavailable while units are in flight.
+
+In the deployed system each PCH runs this engine over its own clients'
+requests while sharing global state once per epoch; the simulator models
+that by letting hub-attributed requests share one engine per scheme, which
+is equivalent under the paper's bounded-synchronous communication model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.routing.congestion import CongestionController, QueuedUnit
+from repro.routing.paths import get_path_selector
+from repro.routing.prices import PriceTable
+from repro.routing.rate_control import PathRateController
+from repro.routing.scheduling import get_scheduler
+from repro.routing.transaction import Payment, PaymentStatus, TransactionUnit
+from repro.topology.channel import InsufficientFundsError
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+Pair = Tuple[NodeId, NodeId]
+Path = Tuple[NodeId, ...]
+
+
+@dataclass
+class RouterConfig:
+    """Tunable parameters of the rate-based router (paper defaults).
+
+    Attributes:
+        path_type: Path selection strategy (``edw``/``eds``/``ksp``/``heuristic``).
+        path_count: Number of candidate paths per pair (paper: 5).
+        min_tu: Minimum transaction-unit value (paper: 1 token).
+        max_tu: Maximum transaction-unit value (paper: 4 tokens).
+        update_interval: Price/rate update period tau in seconds (paper: 0.2).
+        settlement_delay: Average per-path acknowledgment delay Delta used to
+            convert rates into required funds.
+        hop_delay: Propagation + processing delay per channel hop, used to
+            compute unit completion times.
+        alpha: Rate-update step size (equation 26).
+        kappa: Capacity-price step size (equation 21).
+        eta: Imbalance-price step size (equation 22).
+        price_decay: Optional per-update multiplicative leak on both prices.
+            Zero (the default) keeps a persistently imbalanced direction
+            throttled until reverse flow actually arrives, which is what
+            preserves relay liquidity; a small positive value re-probes idle
+            directions at the cost of slowly re-draining them.
+        t_fee: Fee threshold ``T_fee`` in (0, 1) (equation 24).
+        max_imbalance_gap: Hard bound on the per-channel imbalance-price gap
+            (the balance constraint of equation 19): a direction whose
+            imbalance price exceeds the reverse direction's by more than this
+            gap is not used until the reverse flow catches up.  With the
+            default eta this corresponds to blocking a direction once it has
+            net-drained roughly three quarters of the channel capacity.
+        scheduler: Waiting-queue scheduling policy (paper default: ``lifo``).
+        queue_limit: Maximum queued value per source hub (paper: 8000 tokens).
+        delay_threshold: Queueing-delay marking threshold ``T`` (paper: 0.4 s).
+        beta: Window decrease factor (equation 27, paper: 10).
+        gamma: Window increase factor (equation 28, paper: 0.1).
+        initial_rate: Starting per-path rate (tokens/second).
+        min_rate: Floor on per-path rates.
+        path_refresh_interval: How often cached paths are recomputed (seconds).
+        rate_control_enabled: Disable to ablate price-based rate control.
+        congestion_control_enabled: Disable to ablate windows/queue marking.
+        imbalance_pricing_enabled: Disable to ablate the imbalance price
+            (the deadlock-avoidance mechanism).
+    """
+
+    path_type: str = "edw"
+    path_count: int = 5
+    min_tu: float = 1.0
+    max_tu: float = 4.0
+    update_interval: float = 0.2
+    settlement_delay: float = 0.2
+    hop_delay: float = 0.02
+    alpha: float = 1.0
+    kappa: float = 0.1
+    eta: float = 0.1
+    price_decay: float = 0.0
+    max_imbalance_gap: float = 0.075
+    t_fee: float = 0.01
+    scheduler: str = "lifo"
+    queue_limit: float = 8000.0
+    delay_threshold: float = 0.4
+    beta: float = 10.0
+    gamma: float = 0.1
+    initial_rate: float = 20.0
+    min_rate: float = 2.0
+    path_refresh_interval: float = 1.0
+    rate_control_enabled: bool = True
+    congestion_control_enabled: bool = True
+    imbalance_pricing_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.path_count < 1:
+            raise ValueError("path_count must be at least 1")
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if not 0 < self.t_fee < 1:
+            raise ValueError("t_fee must be in (0, 1)")
+
+
+@dataclass
+class RoutingDecision:
+    """Outcome of submitting one payment demand to the router."""
+
+    payment: Payment
+    paths: List[Path]
+    accepted: bool
+    reason: str = ""
+
+
+@dataclass
+class _InFlightUnit:
+    """A dispatched unit whose locks settle at ``complete_at``."""
+
+    unit: TransactionUnit
+    path: Path
+    locks: List[Tuple[object, int]]
+    complete_at: float
+    fee: float
+
+
+@dataclass
+class StepReport:
+    """What happened during one router step."""
+
+    now: float
+    completed_payments: List[Payment] = field(default_factory=list)
+    failed_payments: List[Payment] = field(default_factory=list)
+    delivered_units: int = 0
+    delivered_value: float = 0.0
+    aborted_units: int = 0
+    fees_paid: float = 0.0
+
+
+class RateRouter:
+    """Rate-based multi-path payment router over a payment channel network."""
+
+    def __init__(self, network: PCNetwork, config: Optional[RouterConfig] = None) -> None:
+        self.network = network
+        self.config = config or RouterConfig()
+        cfg = self.config
+        self.price_table = PriceTable(
+            network, kappa=cfg.kappa, eta=cfg.eta, t_fee=cfg.t_fee, decay=cfg.price_decay
+        )
+        if not cfg.imbalance_pricing_enabled:
+            self.price_table.eta = 0.0
+        self.rate_controller = PathRateController(
+            alpha=cfg.alpha,
+            min_rate=cfg.min_rate,
+            initial_rate=cfg.initial_rate,
+        )
+        self.congestion = CongestionController(
+            queue_limit=cfg.queue_limit,
+            delay_threshold=cfg.delay_threshold,
+            beta=cfg.beta,
+            gamma=cfg.gamma,
+        )
+        self._select_paths = get_path_selector(cfg.path_type)
+        self._schedule = get_scheduler(cfg.scheduler)
+        self._queues: Dict[Pair, List[QueuedUnit]] = {}
+        self._budgets: Dict[Tuple[Pair, Path], float] = {}
+        self._in_flight: List[_InFlightUnit] = []
+        self._payments: Dict[int, Payment] = {}
+        self._path_cache: Dict[Pair, Tuple[List[Path], float]] = {}
+        self._next_price_update = cfg.update_interval
+        self.total_fees_paid = 0.0
+        self.total_units_delivered = 0
+        self.total_probe_messages = 0
+
+    # ------------------------------------------------------------------ #
+    # payment intake
+    # ------------------------------------------------------------------ #
+    def submit(self, payment: Payment, now: float) -> RoutingDecision:
+        """Accept a payment demand: split it into TUs and queue them for dispatch."""
+        cfg = self.config
+        pair = (payment.sender, payment.recipient)
+        paths = self._paths_for(pair, now)
+        if not paths:
+            payment.fail()
+            return RoutingDecision(payment, [], accepted=False, reason="no path")
+        if not self.congestion.can_enqueue(payment.sender, payment.value):
+            payment.fail()
+            return RoutingDecision(payment, paths, accepted=False, reason="queue full")
+
+        self._payments[payment.payment_id] = payment
+        units = payment.split(cfg.min_tu, cfg.max_tu, now=now)
+        queue = self._queues.setdefault(pair, [])
+        for unit in units:
+            queue.append(QueuedUnit(unit=unit, enqueued_at=now))
+        self.congestion.on_enqueue(payment.sender, payment.value)
+        self._refresh_demand_rate(pair, now)
+        return RoutingDecision(payment, paths, accepted=True)
+
+    def _paths_for(self, pair: Pair, now: float) -> List[Path]:
+        cached = self._path_cache.get(pair)
+        if cached is not None and now - cached[1] < self.config.path_refresh_interval:
+            return cached[0]
+        raw = self._select_paths(self.network, pair[0], pair[1], self.config.path_count)
+        paths = [tuple(path) for path in raw]
+        self._path_cache[pair] = (paths, now)
+        if paths:
+            self.rate_controller.register_pair(pair[0], pair[1], paths)
+            self.congestion.register_paths(pair[0], pair[1], paths)
+            # One probe per path per refresh measures the path prices.
+            self.total_probe_messages += sum(len(p) - 1 for p in paths)
+        return paths
+
+    def _refresh_demand_rate(self, pair: Pair, now: float) -> None:
+        """Demand constraint (17): the rate needed to clear the outstanding demand.
+
+        Equation (17) bounds ``sum_p r_p * Delta`` by the pair's demand, i.e.
+        the pair never sustains a higher rate than its outstanding value can
+        feed within one settlement delay.
+        """
+        queue = self._queues.get(pair, [])
+        outstanding = sum(q.unit.value for q in queue)
+        if outstanding > 0:
+            delay = max(self.config.settlement_delay, 1e-6)
+            # Equation (17) caps in-flight funds by the demand: r * Delta <= d.
+            self.rate_controller.set_demand_rate(pair[0], pair[1], outstanding / delay)
+            # The *target* rate only needs to clear the queued value before the
+            # earliest deadline among the queued units (with a safety factor of
+            # two); asking for more would just inflate the capacity prices.
+            earliest_deadline = min((q.unit.deadline for q in queue), default=now)
+            horizon = max(0.25 * (earliest_deadline - now), delay)
+            target_rate = outstanding / horizon
+            paths, _ = self._path_cache.get(pair, ([], 0.0))
+            # Each path's boost ceiling is its capacity-derived rate bound
+            # (equation 18) discounted by the current routing price, so a
+            # congested or imbalanced path does not get re-inflated.
+            per_path_caps = {
+                path: (self.network.path_capacity(path) / delay)
+                / (1.0 + max(self.price_table.path_price(path), 0.0))
+                for path in paths
+            }
+            self.rate_controller.boost_rates(pair[0], pair[1], target_rate, per_path_caps)
+        else:
+            self.rate_controller.set_demand_rate(pair[0], pair[1], None)
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(self, now: float, dt: float) -> StepReport:
+        """Advance the router by one simulation step of length ``dt``."""
+        report = StepReport(now=now)
+        self._settle_in_flight(now, report)
+        self._maybe_update_prices(now)
+        self._accrue_budgets(dt)
+        self._dispatch_queued(now, report)
+        self._expire_overdue(now, report)
+        return report
+
+    # -- in-flight settlement ------------------------------------------- #
+    def _settle_in_flight(self, now: float, report: StepReport) -> None:
+        remaining: List[_InFlightUnit] = []
+        for entry in self._in_flight:
+            if entry.complete_at > now:
+                remaining.append(entry)
+                continue
+            for channel, lock_id in entry.locks:
+                channel.settle(lock_id)
+            for sender, receiver in zip(entry.path, entry.path[1:]):
+                self.price_table.observe_transfer(sender, receiver, entry.unit.value)
+            payment = self._payments.get(entry.unit.payment_id)
+            unit = entry.unit
+            unit.path = entry.path
+            if payment is not None:
+                payment.record_unit_delivery(unit, now)
+                if payment.is_complete:
+                    report.completed_payments.append(payment)
+                    self._payments.pop(payment.payment_id, None)
+            self.congestion.on_complete(unit.sender, unit.recipient, entry.path)
+            report.delivered_units += 1
+            report.delivered_value += unit.value
+            report.fees_paid += entry.fee
+            self.total_fees_paid += entry.fee
+            self.total_units_delivered += 1
+        self._in_flight = remaining
+
+    # -- price / rate updates ------------------------------------------- #
+    def _maybe_update_prices(self, now: float) -> None:
+        cfg = self.config
+        while now + 1e-12 >= self._next_price_update:
+            self.rate_controller.report_required_funds(self.price_table, cfg.settlement_delay)
+            self.price_table.update_all()
+            if cfg.rate_control_enabled:
+                self.rate_controller.update_rates(self.price_table)
+                # Dynamic adjustment: pairs with queued demand re-assert the
+                # rate needed to clear it, so rates recover after a price spike
+                # instead of staying pinned at the floor.
+                for pair in list(self._queues):
+                    self._refresh_demand_rate(pair, now)
+            self._next_price_update += cfg.update_interval
+
+    def _accrue_budgets(self, dt: float) -> None:
+        cfg = self.config
+        for pair in self._queues:
+            state = self.rate_controller.pair_state(*pair)
+            if state is None:
+                continue
+            for path, rate in zip(state.paths, state.rates):
+                key = (pair, path)
+                effective_rate = rate if cfg.rate_control_enabled else float("inf")
+                if effective_rate == float("inf"):
+                    self._budgets[key] = float("inf")
+                else:
+                    # Token bucket: the burst capacity tracks the current rate so
+                    # high-demand pairs are not throttled below their allowance.
+                    burst_cap = max(cfg.max_tu * 4.0, effective_rate * dt * 2.0)
+                    current = self._budgets.get(key, 0.0)
+                    self._budgets[key] = min(current + effective_rate * dt, burst_cap)
+
+    # -- dispatch -------------------------------------------------------- #
+    def _dispatch_queued(self, now: float, report: StepReport) -> None:
+        cfg = self.config
+        all_queued: List[Tuple[Pair, QueuedUnit]] = [
+            (pair, queued) for pair, queue in self._queues.items() for queued in queue
+        ]
+        if not all_queued:
+            return
+        order = self._schedule([queued.unit for _, queued in all_queued])
+        by_unit_id = {queued.unit.unit_id: (pair, queued) for pair, queued in all_queued}
+        if cfg.congestion_control_enabled:
+            for _, queued in all_queued:
+                if not queued.unit.marked and self.congestion.should_mark(queued, now):
+                    queued.unit.marked = True
+        for unit in order:
+            pair, queued = by_unit_id[unit.unit_id]
+            payment = self._payments.get(unit.payment_id)
+            if payment is None or payment.is_failed:
+                self._remove_from_queue(pair, queued)
+                self.congestion.on_dequeue(unit.sender, unit.value)
+                continue
+            if unit.expired(now):
+                continue  # handled by _expire_overdue below
+            path = self._choose_path(pair, unit, now)
+            if path is None:
+                unit.retries += 1
+                continue
+            if self._launch_unit(pair, queued, unit, path, now):
+                self._remove_from_queue(pair, queued)
+
+    def _choose_path(self, pair: Pair, unit: TransactionUnit, now: float) -> Optional[Path]:
+        cfg = self.config
+        paths = self._paths_for(pair, now)
+        feasible: List[Tuple[float, Path]] = []
+        for path in paths:
+            budget = self._budgets.get((pair, path), 0.0)
+            if budget < unit.value:
+                continue
+            if cfg.congestion_control_enabled and not self.congestion.can_send(path):
+                continue
+            if self.network.path_capacity(path) < unit.value:
+                continue
+            if cfg.imbalance_pricing_enabled and self._violates_balance(path):
+                continue
+            feasible.append((self.price_table.path_price(path), path))
+        if not feasible:
+            return None
+        feasible.sort(key=lambda item: item[0])
+        return feasible[0][1]
+
+    def _violates_balance(self, path: Path) -> bool:
+        """Balance constraint (equation 19): block directions that drained too far.
+
+        A hop is unusable while its imbalance price exceeds the reverse
+        direction's price by more than ``max_imbalance_gap``; the hop becomes
+        usable again once reverse flow (or the price decay) restores balance.
+        """
+        gap = self.config.max_imbalance_gap
+        for sender, receiver in zip(path, path[1:]):
+            prices = self.price_table.prices(sender, receiver)
+            difference = prices.imbalance_price[sender] - prices.imbalance_price[receiver]
+            if difference > gap:
+                return True
+        return False
+
+    def _launch_unit(
+        self,
+        pair: Pair,
+        queued: QueuedUnit,
+        unit: TransactionUnit,
+        path: Path,
+        now: float,
+    ) -> bool:
+        locks: List[Tuple[object, int]] = []
+        fee = 0.0
+        for sender, receiver in zip(path, path[1:]):
+            channel = self.network.channel(sender, receiver)
+            try:
+                lock_id = channel.lock(sender, unit.value, now=now, tag=str(unit.unit_id))
+            except InsufficientFundsError:
+                for locked_channel, locked_id in locks:
+                    locked_channel.release(locked_id)
+                return False
+            locks.append((channel, lock_id))
+            fee += self.price_table.channel_fee(sender, receiver)
+        budget_key = (pair, path)
+        if self._budgets.get(budget_key, 0.0) != float("inf"):
+            self._budgets[budget_key] = max(self._budgets.get(budget_key, 0.0) - unit.value, 0.0)
+        self.congestion.on_launch(path)
+        complete_at = now + self.config.hop_delay * (len(path) - 1)
+        self._in_flight.append(
+            _InFlightUnit(unit=unit, path=path, locks=locks, complete_at=complete_at, fee=fee)
+        )
+        self.congestion.on_dequeue(unit.sender, unit.value)
+        return True
+
+    def _remove_from_queue(self, pair: Pair, queued: QueuedUnit) -> None:
+        queue = self._queues.get(pair)
+        if queue is None:
+            return
+        try:
+            queue.remove(queued)
+        except ValueError:
+            pass
+        if not queue:
+            self._queues.pop(pair, None)
+
+    # -- expiry ---------------------------------------------------------- #
+    def _expire_overdue(self, now: float, report: StepReport) -> None:
+        aborted_payments = set()
+        for pair, queue in list(self._queues.items()):
+            for queued in list(queue):
+                unit = queued.unit
+                payment = self._payments.get(unit.payment_id)
+                if payment is None:
+                    self._remove_from_queue(pair, queued)
+                    self.congestion.on_dequeue(unit.sender, unit.value)
+                    continue
+                if unit.expired(now) or payment.is_failed:
+                    self._remove_from_queue(pair, queued)
+                    self.congestion.on_dequeue(unit.sender, unit.value)
+                    report.aborted_units += 1
+                    # The window penalty (equation 27) applies once per aborted
+                    # payment, not once per queued unit of that payment.
+                    if unit.payment_id not in aborted_payments:
+                        aborted_payments.add(unit.payment_id)
+                        self.congestion.on_abort(self._preferred_path(pair))
+                    if not payment.is_failed:
+                        payment.fail()
+                        report.failed_payments.append(payment)
+                        self._payments.pop(payment.payment_id, None)
+        # Payments whose deadline passed while all remaining units are in flight
+        # still fail: the recipient only accepts the full demand (section III-A).
+        for payment_id, payment in list(self._payments.items()):
+            if payment.deadline < now and not payment.is_complete:
+                payment.fail()
+                report.failed_payments.append(payment)
+                self._payments.pop(payment_id, None)
+
+    def _preferred_path(self, pair: Pair) -> Path:
+        cached = self._path_cache.get(pair)
+        if cached and cached[0]:
+            return cached[0][0]
+        return (pair[0], pair[1])
+
+    # ------------------------------------------------------------------ #
+    # inspection helpers
+    # ------------------------------------------------------------------ #
+    def queued_unit_count(self) -> int:
+        """Number of transaction units currently waiting in queues."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def in_flight_count(self) -> int:
+        """Number of units currently locked along their paths."""
+        return len(self._in_flight)
+
+    def active_payment_count(self) -> int:
+        """Payments submitted but not yet completed or failed."""
+        return len(self._payments)
+
+    def drain(self, now: float, dt: float, max_steps: int = 1000) -> List[StepReport]:
+        """Step repeatedly until no queued or in-flight units remain (or budget ends)."""
+        reports = []
+        current = now
+        for _ in range(max_steps):
+            if self.queued_unit_count() == 0 and self.in_flight_count() == 0:
+                break
+            current += dt
+            reports.append(self.step(current, dt))
+        return reports

@@ -1,0 +1,26 @@
+"""Discrete-event PCN simulator and evaluation harness.
+
+This subpackage is the stand-in for the paper's LND-testnet deployment: a
+discrete-event engine (:mod:`repro.simulator.engine`), transaction workload
+generators shaped like the paper's datasets (:mod:`repro.simulator.workload`),
+metric collectors for TSR / throughput / latency / overhead
+(:mod:`repro.simulator.metrics`), and the :class:`~repro.simulator.experiment.ExperimentRunner`
+that replays one workload over one topology under several routing schemes.
+"""
+
+from repro.simulator.engine import Event, SimulationEngine
+from repro.simulator.experiment import ExperimentResult, ExperimentRunner
+from repro.simulator.metrics import MetricsCollector, SchemeMetrics
+from repro.simulator.workload import TransactionWorkload, WorkloadConfig, generate_workload
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "WorkloadConfig",
+    "TransactionWorkload",
+    "generate_workload",
+    "MetricsCollector",
+    "SchemeMetrics",
+    "ExperimentRunner",
+    "ExperimentResult",
+]

@@ -1,0 +1,43 @@
+"""Event types for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+_sequence = itertools.count()
+
+
+class EventKind(enum.Enum):
+    """Built-in event categories used by the evaluation harness."""
+
+    PAYMENT_ARRIVAL = "payment_arrival"
+    SCHEME_TICK = "scheme_tick"
+    EPOCH_BOUNDARY = "epoch_boundary"
+    CUSTOM = "custom"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Events order by time, then by a monotonically increasing sequence number
+    so that simultaneous events execute in scheduling order (deterministic).
+
+    Attributes:
+        time: Simulation time at which the event fires.
+        sequence: Tie-breaking sequence number (assigned automatically).
+        kind: Event category.
+        payload: Arbitrary data for the handler.
+        handler: Optional callable invoked as ``handler(engine, event)``;
+            events without a handler are returned to the caller of
+            :meth:`~repro.simulator.engine.SimulationEngine.run`.
+    """
+
+    time: float
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    kind: EventKind = field(default=EventKind.CUSTOM, compare=False)
+    payload: Any = field(default=None, compare=False)
+    handler: Optional[Callable[["object", "Event"], None]] = field(default=None, compare=False)

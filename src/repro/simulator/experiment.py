@@ -1,0 +1,183 @@
+"""Experiment runner: one topology, one workload, several routing schemes.
+
+:class:`ExperimentRunner` replays the same transaction workload over the
+same funded topology under each scheme: channel balances are snapshotted
+before the first run and restored between runs, arrivals are delivered
+through the discrete-event engine, and every scheme is stepped at a fixed
+interval.  The result is one :class:`~repro.simulator.metrics.SchemeMetrics`
+per scheme, which is exactly the material of the paper's figures 7, 8 and 9
+and Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import RoutingScheme, SchemeStepReport
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import EventKind
+from repro.simulator.metrics import MetricsCollector, SchemeMetrics
+from repro.simulator.workload import TransactionWorkload
+from repro.topology.network import PCNetwork
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: per-scheme metrics plus workload context."""
+
+    metrics: Dict[str, SchemeMetrics]
+    workload_count: int
+    workload_value: float
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def scheme(self, name: str) -> SchemeMetrics:
+        """Metrics of one scheme by name."""
+        return self.metrics[name]
+
+    def schemes(self) -> List[str]:
+        """Scheme names in insertion order."""
+        return list(self.metrics)
+
+    def ranking(self, metric: str = "success_ratio") -> List[str]:
+        """Scheme names sorted best-first by the given metric attribute."""
+        return sorted(
+            self.metrics,
+            key=lambda name: getattr(self.metrics[name], metric),
+            reverse=True,
+        )
+
+    def improvement(self, scheme: str, baseline: str, metric: str = "success_ratio") -> float:
+        """Relative improvement of ``scheme`` over ``baseline`` on a metric.
+
+        Returns ``(scheme - baseline) / baseline``; +inf when the baseline is 0
+        and the scheme is positive, 0.0 when both are 0.
+        """
+        ours = getattr(self.metrics[scheme], metric)
+        theirs = getattr(self.metrics[baseline], metric)
+        if theirs == 0:
+            return float("inf") if ours > 0 else 0.0
+        return (ours - theirs) / theirs
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Row-per-scheme dictionaries for table rendering."""
+        return [metrics.as_dict() for metrics in self.metrics.values()]
+
+
+class ExperimentRunner:
+    """Replays one workload over one network under several schemes."""
+
+    def __init__(
+        self,
+        network: PCNetwork,
+        workload: TransactionWorkload,
+        step_size: float = 0.1,
+        drain_time: float = 5.0,
+    ) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if drain_time < 0:
+            raise ValueError("drain_time must be non-negative")
+        self.network = network
+        self.workload = workload
+        self.step_size = step_size
+        self.drain_time = drain_time
+        self._snapshot = network.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        schemes: Sequence[RoutingScheme],
+        rng: Optional[np.random.Generator] = None,
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> ExperimentResult:
+        """Run every scheme on the workload and collect its metrics."""
+        metrics: Dict[str, SchemeMetrics] = {}
+        for scheme in schemes:
+            metrics[scheme.name] = self.run_single(scheme, rng=rng)
+        return ExperimentResult(
+            metrics=metrics,
+            workload_count=self.workload.count,
+            workload_value=self.workload.total_value,
+            parameters=dict(parameters or {}),
+        )
+
+    def run_single(
+        self,
+        scheme: RoutingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SchemeMetrics:
+        """Run one scheme on the workload from a pristine copy of the topology."""
+        self._reset_network()
+        scheme.prepare(self.network, rng=rng)
+        collector = MetricsCollector(scheme.name)
+
+        engine = SimulationEngine()
+        end_time = self.workload.config.duration + self.drain_time
+
+        def on_arrival(_engine: SimulationEngine, event) -> None:
+            request = event.payload
+            collector.record_generated(request.value)
+            scheme.submit(request, _engine.now)
+
+        def on_tick(_engine: SimulationEngine, _event) -> None:
+            report = scheme.step(_engine.now, self.step_size)
+            self._consume(report, scheme, collector)
+
+        for request in self.workload.requests:
+            engine.schedule_at(
+                request.arrival_time,
+                kind=EventKind.PAYMENT_ARRIVAL,
+                payload=request,
+                handler=on_arrival,
+            )
+        engine.schedule_periodic(
+            start=self.step_size,
+            interval=self.step_size,
+            end=end_time,
+            kind=EventKind.SCHEME_TICK,
+            handler=on_tick,
+        )
+        engine.run(until=end_time)
+
+        final_report = scheme.finish(end_time)
+        self._consume(final_report, scheme, collector)
+        collector.add_overhead(scheme.overhead_messages())
+        return collector.finalize()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _reset_network(self) -> None:
+        self.network.release_all_locks()
+        self.network.restore(self._snapshot)
+        self.network.reset_stats()
+
+    def _consume(
+        self,
+        report: SchemeStepReport,
+        scheme: RoutingScheme,
+        collector: MetricsCollector,
+    ) -> None:
+        for payment in report.completed:
+            collector.record_completed(payment, extra_delay=scheme.extra_delay(payment))
+        for payment in report.failed:
+            collector.record_failed(payment)
+        collector.add_fees(report.fees_paid)
+
+
+def compare_schemes(
+    network: PCNetwork,
+    workload: TransactionWorkload,
+    schemes: Sequence[RoutingScheme],
+    step_size: float = 0.1,
+    drain_time: float = 5.0,
+    parameters: Optional[Dict[str, object]] = None,
+) -> ExperimentResult:
+    """One-call convenience wrapper used by the examples and benchmarks."""
+    runner = ExperimentRunner(network, workload, step_size=step_size, drain_time=drain_time)
+    return runner.run(schemes, parameters=parameters)

@@ -1,0 +1,290 @@
+"""The payment channel network graph container.
+
+:class:`PCNetwork` wraps a :class:`networkx.Graph` whose edges carry
+:class:`~repro.topology.channel.PaymentChannel` objects and whose nodes carry
+a *role* (``"client"``, ``"candidate"`` or ``"hub"``).  It provides the graph
+queries the placement and routing layers need: hop counts, shortest paths,
+per-direction liquidity views and snapshot/restore of all channel balances so
+that a single topology can be replayed under several routing schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.topology.channel import NodeId, PaymentChannel
+
+ROLE_CLIENT = "client"
+ROLE_CANDIDATE = "candidate"
+ROLE_HUB = "hub"
+_VALID_ROLES = (ROLE_CLIENT, ROLE_CANDIDATE, ROLE_HUB)
+
+
+class PCNetwork:
+    """A payment channel network: nodes, roles and funded channels.
+
+    The container is deliberately independent of any routing scheme; routing
+    and placement code read liquidity and topology through this API and only
+    mutate state through channel operations.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: NodeId, role: str = ROLE_CLIENT, **attrs: object) -> None:
+        """Add a node with a role (client, candidate or hub)."""
+        if role not in _VALID_ROLES:
+            raise ValueError(f"unknown role {role!r}; expected one of {_VALID_ROLES}")
+        self._graph.add_node(node, role=role, **attrs)
+
+    def add_channel(
+        self,
+        node_a: NodeId,
+        node_b: NodeId,
+        balance_a: float,
+        balance_b: Optional[float] = None,
+        base_fee: float = 0.0,
+        fee_rate: float = 0.0,
+    ) -> PaymentChannel:
+        """Open a channel between two existing nodes and return it.
+
+        Args:
+            node_a: First endpoint (must already be in the network).
+            node_b: Second endpoint (must already be in the network).
+            balance_a: Funds deposited on ``node_a``'s side.
+            balance_b: Funds deposited on ``node_b``'s side; defaults to
+                ``balance_a`` (symmetric funding, as in the paper's setup).
+            base_fee: Flat forwarding fee.
+            fee_rate: Proportional forwarding fee.
+        """
+        for node in (node_a, node_b):
+            if node not in self._graph:
+                raise KeyError(f"node {node!r} is not part of the network")
+        if self._graph.has_edge(node_a, node_b):
+            raise ValueError(f"channel {node_a!r}-{node_b!r} already exists")
+        if balance_b is None:
+            balance_b = balance_a
+        channel = PaymentChannel(node_a, node_b, balance_a, balance_b, base_fee, fee_rate)
+        self._graph.add_edge(node_a, node_b, channel=channel)
+        return channel
+
+    def remove_channel(self, node_a: NodeId, node_b: NodeId) -> Dict[NodeId, float]:
+        """Close and remove the channel between two nodes, returning the settlement."""
+        channel = self.channel(node_a, node_b)
+        settlement = channel.close()
+        self._graph.remove_edge(node_a, node_b)
+        return settlement
+
+    def set_role(self, node: NodeId, role: str) -> None:
+        """Change a node's role (e.g. promote a candidate to a hub)."""
+        if role not in _VALID_ROLES:
+            raise ValueError(f"unknown role {role!r}; expected one of {_VALID_ROLES}")
+        if node not in self._graph:
+            raise KeyError(f"node {node!r} is not part of the network")
+        self._graph.nodes[node]["role"] = role
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (channels live on the ``channel`` edge attr)."""
+        return self._graph
+
+    def nodes(self, role: Optional[str] = None) -> List[NodeId]:
+        """All nodes, optionally filtered by role."""
+        if role is None:
+            return list(self._graph.nodes)
+        return [n for n, data in self._graph.nodes(data=True) if data.get("role") == role]
+
+    def clients(self) -> List[NodeId]:
+        """Nodes with the client role."""
+        return self.nodes(ROLE_CLIENT)
+
+    def candidates(self) -> List[NodeId]:
+        """Nodes eligible to be placed as smooth nodes (candidates and hubs)."""
+        return [
+            n
+            for n, data in self._graph.nodes(data=True)
+            if data.get("role") in (ROLE_CANDIDATE, ROLE_HUB)
+        ]
+
+    def hubs(self) -> List[NodeId]:
+        """Nodes currently acting as smooth nodes (PCHs)."""
+        return self.nodes(ROLE_HUB)
+
+    def role(self, node: NodeId) -> str:
+        """The role of ``node``."""
+        return self._graph.nodes[node]["role"]
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether the node exists."""
+        return node in self._graph
+
+    def has_channel(self, node_a: NodeId, node_b: NodeId) -> bool:
+        """Whether a channel exists between two nodes."""
+        return self._graph.has_edge(node_a, node_b)
+
+    def channel(self, node_a: NodeId, node_b: NodeId) -> PaymentChannel:
+        """The channel object between two adjacent nodes."""
+        try:
+            return self._graph.edges[node_a, node_b]["channel"]
+        except KeyError:
+            raise KeyError(f"no channel between {node_a!r} and {node_b!r}") from None
+
+    def channels(self) -> Iterator[PaymentChannel]:
+        """Iterate over every channel in the network."""
+        for _, _, data in self._graph.edges(data=True):
+            yield data["channel"]
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Direct channel partners of ``node``."""
+        return list(self._graph.neighbors(node))
+
+    def degree(self, node: NodeId) -> int:
+        """Number of channels attached to ``node``."""
+        return int(self._graph.degree(node))
+
+    def node_count(self) -> int:
+        """Number of nodes in the network."""
+        return self._graph.number_of_nodes()
+
+    def channel_count(self) -> int:
+        """Number of channels in the network."""
+        return self._graph.number_of_edges()
+
+    def is_connected(self) -> bool:
+        """Whether the channel graph is a single connected component."""
+        if self._graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def total_funds(self) -> float:
+        """Total collateral committed to all channels."""
+        return sum(channel.capacity for channel in self.channels())
+
+    def available(self, sender: NodeId, receiver: NodeId) -> float:
+        """Spendable funds in the ``sender -> receiver`` direction of their channel."""
+        return self.channel(sender, receiver).balance(sender)
+
+    # ------------------------------------------------------------------ #
+    # path / distance helpers
+    # ------------------------------------------------------------------ #
+    def hop_count(self, source: NodeId, target: NodeId) -> int:
+        """Number of hops on the shortest path from ``source`` to ``target``.
+
+        Raises ``networkx.NetworkXNoPath`` if the nodes are disconnected.
+        """
+        if source == target:
+            return 0
+        return nx.shortest_path_length(self._graph, source, target)
+
+    def hop_counts_from(self, source: NodeId) -> Dict[NodeId, int]:
+        """Hop count from ``source`` to every reachable node."""
+        return dict(nx.single_source_shortest_path_length(self._graph, source))
+
+    def all_pairs_hop_counts(self) -> Dict[NodeId, Dict[NodeId, int]]:
+        """Hop-count matrix for the whole network (BFS from every node)."""
+        return {source: lengths for source, lengths in nx.all_pairs_shortest_path_length(self._graph)}
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> List[NodeId]:
+        """One shortest (fewest-hops) path between two nodes."""
+        return nx.shortest_path(self._graph, source, target)
+
+    def shortest_paths(self, source: NodeId, target: NodeId, k: int) -> List[List[NodeId]]:
+        """Up to ``k`` loop-free shortest paths (by hop count) between two nodes."""
+        if k <= 0:
+            return []
+        generator = nx.shortest_simple_paths(self._graph, source, target)
+        paths: List[List[NodeId]] = []
+        for path in generator:
+            paths.append(list(path))
+            if len(paths) >= k:
+                break
+        return paths
+
+    def path_capacity(self, path: Sequence[NodeId]) -> float:
+        """Bottleneck spendable funds along a directed path."""
+        if len(path) < 2:
+            return 0.0
+        return min(
+            self.channel(path[i], path[i + 1]).balance(path[i]) for i in range(len(path) - 1)
+        )
+
+    def subgraph_view(self) -> nx.Graph:
+        """A read-only copy of the channel graph topology (no channel objects)."""
+        return nx.Graph(self._graph.edges())
+
+    # ------------------------------------------------------------------ #
+    # snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]]:
+        """Capture every channel's balances so the topology can be replayed."""
+        return {
+            (channel.node_a, channel.node_b): channel.snapshot() for channel in self.channels()
+        }
+
+    def restore(self, snapshot: Dict[Tuple[NodeId, NodeId], Dict[NodeId, float]]) -> None:
+        """Restore channel balances captured by :meth:`snapshot`."""
+        for (node_a, node_b), balances in snapshot.items():
+            self.channel(node_a, node_b).restore(balances)
+
+    def release_all_locks(self) -> int:
+        """Release every outstanding lock in the network (aborting in-flight payments).
+
+        Used by the experiment harness before restoring a snapshot so that a
+        scheme that still had units in flight does not poison the next run.
+        Returns the number of locks released.
+        """
+        released = 0
+        for channel in self.channels():
+            for lock in list(channel.locks()):
+                channel.release(lock.lock_id)
+                released += 1
+        return released
+
+    def reset_stats(self) -> None:
+        """Clear every channel's lifetime statistics."""
+        for channel in self.channels():
+            channel.stats.__init__()
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        channel_size: float = 100.0,
+        candidate_nodes: Optional[Iterable[NodeId]] = None,
+        base_fee: float = 0.0,
+        fee_rate: float = 0.0,
+    ) -> "PCNetwork":
+        """Build a PCN from a plain topology graph with uniform channel sizes.
+
+        Args:
+            graph: Topology; each edge becomes a channel.
+            channel_size: Funds deposited *per direction* of every channel.
+            candidate_nodes: Nodes to mark as hub candidates (others are clients).
+            base_fee: Flat fee applied to every channel.
+            fee_rate: Proportional fee applied to every channel.
+        """
+        candidates = set(candidate_nodes or ())
+        network = cls()
+        for node in graph.nodes:
+            role = ROLE_CANDIDATE if node in candidates else ROLE_CLIENT
+            network.add_node(node, role=role)
+        for node_a, node_b in graph.edges:
+            network.add_channel(node_a, node_b, channel_size, channel_size, base_fee, fee_rate)
+        return network
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PCNetwork(nodes={self.node_count()}, channels={self.channel_count()}, "
+            f"hubs={len(self.hubs())})"
+        )

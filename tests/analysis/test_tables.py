@@ -1,0 +1,60 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import format_table, result_table, to_csv
+from repro.simulator.experiment import ExperimentResult
+from repro.simulator.metrics import SchemeMetrics
+
+
+def _result():
+    metrics = {
+        "splicer": SchemeMetrics(scheme="splicer", success_ratio=0.9, normalized_throughput=0.8),
+        "spider": SchemeMetrics(scheme="spider", success_ratio=0.7, normalized_throughput=0.5),
+    }
+    return ExperimentResult(metrics=metrics, workload_count=10, workload_value=100.0)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_content(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.2346" in text
+        assert len(lines) == 4
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_values_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text.count("\n") == 3
+
+
+class TestResultTable:
+    def test_contains_schemes_and_metrics(self):
+        text = result_table(_result())
+        assert "splicer" in text
+        assert "spider" in text
+        assert "success_ratio" in text
+
+    def test_custom_columns(self):
+        text = result_table(_result(), columns=["scheme", "success_ratio"])
+        assert "normalized_throughput" not in text
+
+
+class TestCsv:
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+    def test_rows(self):
+        csv_text = to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,4"

@@ -1,0 +1,135 @@
+"""Tests for the atomic source-routing baselines (shortest-path, Flash, landmark)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlashScheme, LandmarkScheme, ShortestPathScheme
+from repro.baselines.base import SourceComputationModel
+from repro.simulator.workload import TransactionRequest
+
+
+def _request(sender, recipient, value, time=0.0):
+    return TransactionRequest(arrival_time=time, sender=sender, recipient=recipient, value=value)
+
+
+class TestSourceComputationModel:
+    def test_delay_scales_with_network_size(self):
+        model = SourceComputationModel(base_delay=0.05, reference_size=100)
+        assert model.delay_for(100) == pytest.approx(0.05)
+        assert model.delay_for(3000) == pytest.approx(1.5)
+        assert model.delay_for(0) == 0.0
+
+
+class TestShortestPathScheme:
+    def test_successful_payment(self, line_network):
+        scheme = ShortestPathScheme()
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 10.0), now=0.0)
+        report = scheme.step(0.1, 0.1)
+        assert payment.is_complete
+        assert payment in report.completed
+        assert line_network.available("n0", "n1") == pytest.approx(40.0)
+
+    def test_insufficient_capacity_fails(self, line_network):
+        scheme = ShortestPathScheme()
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 60.0), now=0.0)
+        report = scheme.step(0.1, 0.1)
+        assert payment.is_failed
+        assert payment in report.failed
+        # All-or-nothing: nothing moved.
+        assert line_network.available("n0", "n1") == pytest.approx(50.0)
+
+    def test_disconnected_recipient_fails(self, line_network):
+        line_network.add_node("island")
+        scheme = ShortestPathScheme()
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "island", 1.0), now=0.0)
+        assert payment.is_failed
+
+    def test_step_clears_buffer(self, line_network):
+        scheme = ShortestPathScheme()
+        scheme.prepare(line_network)
+        scheme.submit(_request("n0", "n4", 1.0), now=0.0)
+        first = scheme.step(0.1, 0.1)
+        second = scheme.step(0.2, 0.1)
+        assert len(first.completed) == 1
+        assert second.completed == []
+
+    def test_extra_delay_uses_network_size(self, line_network):
+        scheme = ShortestPathScheme(computation=SourceComputationModel(base_delay=0.1, reference_size=5))
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 1.0), now=0.0)
+        assert scheme.extra_delay(payment) == pytest.approx(0.1)
+
+
+class TestFlashScheme:
+    def test_mouse_uses_single_precomputed_path(self, line_network):
+        scheme = FlashScheme(elephant_threshold=50.0, seed=1)
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 5.0), now=0.0)
+        assert payment.is_complete
+
+    def test_elephant_splits_across_paths(self, grid_network):
+        scheme = FlashScheme(elephant_threshold=10.0, seed=1)
+        scheme.prepare(grid_network)
+        # Each grid channel holds 50 tokens per direction, so 80 tokens cannot
+        # fit on a single path but fits across the corner's two disjoint paths.
+        payment = scheme.submit(_request((0, 0), (3, 3), 80.0), now=0.0)
+        assert payment.is_complete
+
+    def test_oversized_payment_fails_atomically(self, line_network):
+        scheme = FlashScheme(elephant_threshold=10.0, seed=1)
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 500.0), now=0.0)
+        assert payment.is_failed
+        assert line_network.available("n0", "n1") == pytest.approx(50.0)
+
+    def test_mouse_paths_are_cached(self, line_network):
+        scheme = FlashScheme(seed=1)
+        scheme.prepare(line_network)
+        scheme.submit(_request("n0", "n4", 1.0), now=0.0)
+        messages_after_first = scheme.overhead_messages()
+        scheme.submit(_request("n0", "n4", 1.0), now=0.1)
+        assert scheme.overhead_messages() == messages_after_first
+
+    def test_elephants_pay_more_computation_delay(self, line_network):
+        scheme = FlashScheme(elephant_threshold=10.0, seed=1)
+        scheme.prepare(line_network)
+        mouse = scheme.submit(_request("n0", "n4", 1.0), now=0.0)
+        elephant = scheme.submit(_request("n0", "n4", 20.0), now=0.0)
+        assert scheme.extra_delay(elephant) > scheme.extra_delay(mouse)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FlashScheme(elephant_threshold=0.0)
+
+
+class TestLandmarkScheme:
+    def test_landmarks_are_best_connected(self, multi_star_network):
+        scheme = LandmarkScheme(landmark_count=3)
+        scheme.prepare(multi_star_network)
+        assert all(str(l).startswith("hub") for l in scheme.landmarks)
+
+    def test_payment_through_landmarks(self, multi_star_network):
+        scheme = LandmarkScheme(landmark_count=3)
+        scheme.prepare(multi_star_network)
+        payment = scheme.submit(_request("client-0-0", "client-2-1", 10.0), now=0.0)
+        assert payment.is_complete
+
+    def test_unroutable_payment_fails(self, multi_star_network):
+        multi_star_network.add_node("island")
+        scheme = LandmarkScheme(landmark_count=2)
+        scheme.prepare(multi_star_network)
+        payment = scheme.submit(_request("client-0-0", "island", 1.0), now=0.0)
+        assert payment.is_failed
+
+    def test_invalid_landmark_count(self):
+        with pytest.raises(ValueError):
+            LandmarkScheme(landmark_count=0)
+
+    def test_overhead_counted(self, multi_star_network):
+        scheme = LandmarkScheme(landmark_count=2)
+        scheme.prepare(multi_star_network)
+        scheme.submit(_request("client-0-0", "client-1-0", 5.0), now=0.0)
+        assert scheme.overhead_messages() > 0

@@ -1,0 +1,151 @@
+"""Tests for the Spider, A2L and Splicer scheme wrappers."""
+
+import pytest
+
+from repro.baselines import A2LScheme, SpiderScheme, SplicerScheme
+from repro.baselines.base import SourceComputationModel
+from repro.core.config import SplicerConfig
+from repro.routing.router import RouterConfig
+from repro.simulator.workload import TransactionRequest
+
+
+def _request(sender, recipient, value, time=0.0):
+    return TransactionRequest(arrival_time=time, sender=sender, recipient=recipient, value=value)
+
+
+def _run(scheme, duration, dt=0.1, start=0.0):
+    reports = []
+    steps = int(duration / dt)
+    for index in range(1, steps + 1):
+        reports.append(scheme.step(start + index * dt, dt))
+    completed = [p for r in reports for p in r.completed]
+    failed = [p for r in reports for p in r.failed]
+    return completed, failed
+
+
+class TestSpiderScheme:
+    def test_payment_completes_after_computation_delay(self, line_network):
+        scheme = SpiderScheme(computation=SourceComputationModel(base_delay=0.2, reference_size=5))
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "n4", 6.0), now=0.0)
+        completed, _ = _run(scheme, 2.0)
+        assert payment.is_complete
+        assert payment in completed
+
+    def test_uses_eds_paths_without_imbalance_pricing(self):
+        scheme = SpiderScheme()
+        assert scheme.router_config.path_type == "eds"
+        assert not scheme.router_config.imbalance_pricing_enabled
+
+    def test_extra_delay_grows_with_network(self, line_network, funded_ws_network):
+        scheme = SpiderScheme()
+        scheme.prepare(line_network)
+        small_delay = scheme.extra_delay(None)
+        scheme.prepare(funded_ws_network)
+        large_delay = scheme.extra_delay(None)
+        assert large_delay > small_delay
+
+    def test_step_before_prepare_rejected(self):
+        with pytest.raises(RuntimeError):
+            SpiderScheme().step(0.1, 0.1)
+
+    def test_unroutable_payment_reported_failed(self, line_network):
+        line_network.add_node("island")
+        scheme = SpiderScheme(computation=SourceComputationModel(base_delay=0.0))
+        scheme.prepare(line_network)
+        payment = scheme.submit(_request("n0", "island", 1.0), now=0.0)
+        _, failed = _run(scheme, 0.5)
+        assert payment in failed
+
+
+class TestA2LScheme:
+    def test_hub_is_best_connected_node(self, multi_star_network):
+        scheme = A2LScheme()
+        scheme.prepare(multi_star_network)
+        assert str(scheme.hub).startswith("hub")
+
+    def test_payment_via_hub(self, multi_star_network):
+        scheme = A2LScheme(hub_capacity_per_second=100.0)
+        scheme.prepare(multi_star_network)
+        payment = scheme.submit(_request("client-0-0", "client-1-1", 10.0), now=0.0)
+        completed, _ = _run(scheme, 1.0)
+        assert payment.is_complete
+        assert payment in completed
+
+    def test_hub_processing_rate_limits_throughput(self, multi_star_network):
+        scheme = A2LScheme(hub_capacity_per_second=2.0, timeout=1.0)
+        scheme.prepare(multi_star_network)
+        payments = [
+            scheme.submit(_request("client-0-0", "client-1-1", 1.0, time=0.0), now=0.0)
+            for _ in range(30)
+        ]
+        completed, failed = _run(scheme, 3.0)
+        assert len(failed) > 0
+        assert len(completed) < 30
+
+    def test_payment_larger_than_hub_channel_fails(self, multi_star_network):
+        scheme = A2LScheme()
+        scheme.prepare(multi_star_network)
+        payment = scheme.submit(_request("client-0-0", "client-1-1", 5000.0), now=0.0)
+        _, failed = _run(scheme, 1.0)
+        assert payment in failed
+
+    def test_extra_delay_is_crypto_delay(self, multi_star_network):
+        scheme = A2LScheme(crypto_delay=0.07)
+        scheme.prepare(multi_star_network)
+        assert scheme.extra_delay(None) == pytest.approx(0.07)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            A2LScheme(crypto_delay=-1.0)
+        with pytest.raises(ValueError):
+            A2LScheme(hub_capacity_per_second=0.0)
+
+
+class TestSplicerScheme:
+    @pytest.fixture
+    def scheme(self, small_ws_network):
+        config = SplicerConfig(
+            router=RouterConfig(path_count=3, hop_delay=0.01),
+            placement_method="greedy",
+            placement_seed=0,
+        )
+        scheme = SplicerScheme(config)
+        scheme.prepare(small_ws_network)
+        return scheme
+
+    def test_prepare_runs_placement(self, scheme):
+        assert scheme.placement_plan is not None
+        assert scheme.placement_plan.hub_count >= 1
+
+    def test_client_payment_completes(self, scheme, small_ws_network):
+        clients = sorted(small_ws_network.clients(), key=repr)
+        payment = scheme.submit(_request(clients[0], clients[-1], 5.0), now=0.0)
+        completed, _ = _run(scheme, 2.0)
+        assert payment.is_complete
+        assert payment in completed
+
+    def test_hub_sender_bypasses_client_workflow(self, scheme, small_ws_network):
+        hub = scheme.placement_plan and sorted(scheme.placement_plan.hubs, key=repr)[0]
+        client = sorted(small_ws_network.clients(), key=repr)[0]
+        payment = scheme.submit(_request(hub, client, 3.0), now=0.0)
+        completed, _ = _run(scheme, 2.0)
+        assert payment in completed
+        assert scheme.extra_delay(payment) == 0.0
+
+    def test_extra_delay_reflects_client_hub_distance(self, scheme, small_ws_network):
+        clients = sorted(small_ws_network.clients(), key=repr)
+        payment = scheme.submit(_request(clients[0], clients[-1], 2.0), now=0.0)
+        system = scheme.system
+        expected = system.management_delay(clients[0])
+        assert scheme.extra_delay(payment) == pytest.approx(expected)
+
+    def test_overhead_includes_sync_and_management(self, scheme, small_ws_network):
+        clients = sorted(small_ws_network.clients(), key=repr)
+        scheme.submit(_request(clients[0], clients[1], 2.0), now=0.0)
+        _run(scheme, 2.5)
+        assert scheme.overhead_messages() > 0
+
+    def test_submit_before_prepare_rejected(self):
+        with pytest.raises(RuntimeError):
+            SplicerScheme().submit(_request("a", "b", 1.0), now=0.0)

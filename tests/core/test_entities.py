@@ -1,0 +1,96 @@
+"""Tests for the client and smooth-node entities."""
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.kmg import KeyManagementGroup
+from repro.core.payment import open_session
+from repro.core.smooth_node import SmoothNode
+from repro.routing.router import RateRouter, RouterConfig
+
+
+@pytest.fixture
+def smooth_node(line_network):
+    router = RateRouter(line_network, RouterConfig(hop_delay=0.01))
+    kmg = KeyManagementGroup(members=["n2"])
+    return SmoothNode(node_id="n2", router=router, kmg=kmg)
+
+
+class TestClient:
+    def test_attach(self):
+        client = Client(node_id="c")
+        client.attach("hub", hops_to_hub=3)
+        assert client.smooth_node_id == "hub"
+        assert client.hops_to_hub == 3
+        assert client.request_round_trip_hops == 6
+
+    def test_build_request_requires_attachment(self):
+        client = Client(node_id="c")
+        kmg = KeyManagementGroup(members=["s"])
+        session = open_session(kmg)
+        with pytest.raises(RuntimeError):
+            client.build_request(session, "r", 5.0)
+
+    def test_build_request_records_tid(self, smooth_node):
+        client = Client(node_id="n0")
+        smooth_node.attach_client(client, hops=2)
+        session = smooth_node.open_payment("n0")
+        client.build_request(session, "n4", 5.0)
+        assert session.tid in client.sent_payments
+
+    def test_receive_ack(self):
+        client = Client(node_id="c")
+        client.receive_ack("tid-9")
+        assert client.received_acks == ["tid-9"]
+
+
+class TestSmoothNode:
+    def test_attach_and_count_clients(self, smooth_node):
+        smooth_node.attach_client(Client(node_id="n0"), hops=2)
+        smooth_node.attach_client(Client(node_id="n1"), hops=1)
+        assert smooth_node.client_count == 2
+
+    def test_open_payment_requires_attached_client(self, smooth_node):
+        with pytest.raises(KeyError):
+            smooth_node.open_payment("stranger")
+
+    def test_execute_payment_accepts_and_routes(self, smooth_node, line_network):
+        client = Client(node_id="n0")
+        smooth_node.attach_client(client, hops=2)
+        session = smooth_node.open_payment("n0")
+        ciphertext = client.build_request(session, "n4", 6.0)
+        decision = smooth_node.execute_payment(session, ciphertext, now=0.0, timeout=3.0)
+        assert decision.accepted
+        assert smooth_node.stats.payments_accepted == 1
+        assert session.payment is decision.payment
+        assert session.demand.value == pytest.approx(6.0)
+
+    def test_execute_payment_rejection_recorded(self, smooth_node, line_network):
+        line_network.add_node("island")
+        client = Client(node_id="n0")
+        smooth_node.attach_client(client, hops=2)
+        session = smooth_node.open_payment("n0")
+        ciphertext = client.build_request(session, "island", 6.0)
+        decision = smooth_node.execute_payment(session, ciphertext, now=0.0, timeout=3.0)
+        assert not decision.accepted
+        assert smooth_node.stats.payments_rejected == 1
+
+    def test_acknowledgments_flow_back_to_client(self, smooth_node, line_network):
+        client = Client(node_id="n0")
+        smooth_node.attach_client(client, hops=2)
+        session = smooth_node.open_payment("n0")
+        ciphertext = client.build_request(session, "n4", 6.0)
+        smooth_node.execute_payment(session, ciphertext, now=0.0, timeout=3.0)
+        for step in range(1, 21):
+            smooth_node.router.step(step * 0.1, 0.1)
+        completed = smooth_node.process_acknowledgments()
+        assert session.tid in completed
+        assert session.tid in client.received_acks
+        assert smooth_node.stats.acks_forwarded == 1
+        # A second pass does not double-acknowledge.
+        assert smooth_node.process_acknowledgments() == []
+
+    def test_sync_round_counter(self, smooth_node):
+        smooth_node.record_sync_round()
+        smooth_node.record_sync_round()
+        assert smooth_node.stats.sync_rounds == 2

@@ -1,0 +1,56 @@
+"""Tests for the key management group."""
+
+import pytest
+
+from repro.core.kmg import KeyManagementGroup, KMGUnavailableError
+
+
+class TestKeyManagementGroup:
+    def test_same_id_returns_same_keypair(self):
+        kmg = KeyManagementGroup(members=["s1", "s2", "s3"])
+        first = kmg.keypair_for("tid-1")
+        second = kmg.keypair_for("tid-1")
+        assert first is second
+
+    def test_different_ids_get_different_keys(self):
+        kmg = KeyManagementGroup(members=["s1", "s2", "s3"])
+        assert kmg.keypair_for("tid-1").public_key != kmg.keypair_for("tid-2").public_key
+        assert kmg.issued_count() == 2
+
+    def test_public_key_only(self):
+        kmg = KeyManagementGroup(members=["s1"])
+        assert kmg.public_key_for("tid-1") == kmg.keypair_for("tid-1").public_key
+
+    def test_default_quorum_is_majority(self):
+        kmg = KeyManagementGroup(members=["s1", "s2", "s3", "s4", "s5"])
+        assert kmg.quorum == 3
+
+    def test_quorum_enforced(self):
+        kmg = KeyManagementGroup(members=["s1", "s2", "s3"])
+        kmg.set_offline("s1")
+        assert kmg.has_quorum()
+        kmg.set_offline("s2")
+        assert not kmg.has_quorum()
+        with pytest.raises(KMGUnavailableError):
+            kmg.keypair_for("tid-1")
+
+    def test_member_recovery(self):
+        kmg = KeyManagementGroup(members=["s1", "s2", "s3"])
+        kmg.set_offline("s1")
+        kmg.set_offline("s2")
+        kmg.set_offline("s2", offline=False)
+        assert kmg.has_quorum()
+        assert kmg.keypair_for("tid-1") is not None
+
+    def test_unknown_member_rejected(self):
+        kmg = KeyManagementGroup(members=["s1"])
+        with pytest.raises(KeyError):
+            kmg.set_offline("ghost")
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            KeyManagementGroup(members=[])
+
+    def test_invalid_quorum_rejected(self):
+        with pytest.raises(ValueError):
+            KeyManagementGroup(members=["s1"], quorum=5)

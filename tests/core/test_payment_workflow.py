@@ -1,0 +1,76 @@
+"""Tests for the encrypted payment workflow (section III-A)."""
+
+import pytest
+
+from repro.core.kmg import KeyManagementGroup
+from repro.core.payment import PaymentDemand, PaymentSession, open_session
+from repro.routing.transaction import Payment
+
+
+@pytest.fixture
+def kmg() -> KeyManagementGroup:
+    return KeyManagementGroup(members=["s1", "s2", "s3"])
+
+
+class TestSession:
+    def test_open_session_mints_fresh_tids(self, kmg):
+        first = open_session(kmg)
+        second = open_session(kmg)
+        assert first.tid != second.tid
+        assert first.keypair.public_key != second.keypair.public_key
+
+    def test_encrypt_decrypt_demand(self, kmg):
+        session = open_session(kmg)
+        demand = PaymentDemand(sender="alice", recipient="bob", value=12.5)
+        ciphertext = session.encrypt_demand(demand)
+        decrypted = session.decrypt_demand(ciphertext)
+        assert decrypted == demand
+        assert session.demand == demand
+
+    def test_ciphertext_hides_demand(self, kmg):
+        session = open_session(kmg)
+        ciphertext = session.encrypt_demand(PaymentDemand("alice", "bob", 12.5))
+        assert b"alice" not in ciphertext
+        assert b"bob" not in ciphertext
+
+    def test_theta_requires_all_unit_acks(self, kmg):
+        session = open_session(kmg)
+        payment = Payment.create("alice", "bob", 10.0)
+        payment.split(1.0, 4.0)
+        session.attach_payment(payment)
+        assert not session.theta
+        unit_ids = list(session.unit_states)
+        for unit_id in unit_ids[:-1]:
+            session.record_unit_ack(unit_id)
+            assert not session.theta
+        session.record_unit_ack(unit_ids[-1])
+        assert session.theta
+
+    def test_finalize_fires_exactly_once(self, kmg):
+        session = open_session(kmg)
+        payment = Payment.create("alice", "bob", 2.0)
+        payment.split()
+        session.attach_payment(payment)
+        session.record_unit_ack(payment.units[0].unit_id)
+        assert session.finalize()
+        assert not session.finalize()
+        assert session.ack_sent
+
+    def test_finalize_before_completion_is_false(self, kmg):
+        session = open_session(kmg)
+        payment = Payment.create("alice", "bob", 10.0)
+        payment.split()
+        session.attach_payment(payment)
+        assert not session.finalize()
+
+    def test_unknown_unit_ack_rejected(self, kmg):
+        session = open_session(kmg)
+        payment = Payment.create("alice", "bob", 2.0)
+        payment.split()
+        session.attach_payment(payment)
+        with pytest.raises(KeyError):
+            session.record_unit_ack(999999)
+
+    def test_theta_false_without_units(self, kmg):
+        session = open_session(kmg)
+        assert not session.theta

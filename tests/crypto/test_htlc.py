@@ -1,0 +1,54 @@
+"""Tests for the hash time lock contract simulation."""
+
+import pytest
+
+from repro.crypto.htlc import HTLC, HTLCStatus, hash_preimage
+
+
+class TestHTLC:
+    def test_claim_with_correct_preimage(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert htlc.claim(b"secret", now=1.0)
+        assert htlc.status == HTLCStatus.CLAIMED
+        assert htlc.claimed_at == 1.0
+
+    def test_claim_with_wrong_preimage_fails(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert not htlc.claim(b"wrong", now=1.0)
+        assert htlc.status == HTLCStatus.PENDING
+
+    def test_claim_after_expiry_fails(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert not htlc.claim(b"secret", now=6.0)
+
+    def test_refund_after_expiry(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert htlc.refund(now=6.0)
+        assert htlc.status == HTLCStatus.REFUNDED
+
+    def test_refund_before_expiry_fails(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert not htlc.refund(now=4.0)
+
+    def test_claim_then_refund_fails(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        htlc.claim(b"secret", now=1.0)
+        assert not htlc.refund(now=6.0)
+
+    def test_double_claim_fails(self):
+        htlc = HTLC.create(amount=10.0, preimage=b"secret", expiry=5.0)
+        assert htlc.claim(b"secret", now=1.0)
+        assert not htlc.claim(b"secret", now=2.0)
+
+    def test_non_positive_amount_rejected(self):
+        with pytest.raises(ValueError):
+            HTLC.create(amount=0.0, preimage=b"secret", expiry=5.0)
+
+    def test_unique_ids(self):
+        first = HTLC.create(1.0, b"x", 1.0)
+        second = HTLC.create(1.0, b"x", 1.0)
+        assert first.htlc_id != second.htlc_id
+
+    def test_hash_preimage_deterministic(self):
+        assert hash_preimage(b"abc") == hash_preimage(b"abc")
+        assert hash_preimage(b"abc") != hash_preimage(b"abd")

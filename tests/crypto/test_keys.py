@@ -1,0 +1,55 @@
+"""Tests for the toy encryption layer."""
+
+import pytest
+
+from repro.crypto.keys import DecryptionError, decrypt, encrypt, generate_keypair
+
+
+class TestKeyGeneration:
+    def test_keypairs_are_unique(self):
+        first = generate_keypair()
+        second = generate_keypair()
+        assert first.public_key != second.public_key
+        assert first.secret_key != second.secret_key
+        assert first.key_id != second.key_id
+
+    def test_seed_does_not_break_uniqueness(self):
+        first = generate_keypair(seed=1)
+        second = generate_keypair(seed=1)
+        assert first.key_id != second.key_id
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        keys = generate_keypair()
+        payload = ("sender", "recipient", 42.5)
+        assert decrypt(keys.secret_key, encrypt(keys.public_key, payload)) == payload
+
+    def test_roundtrip_of_nested_structures(self):
+        keys = generate_keypair()
+        payload = {"demand": ["a", "b", 1.0], "meta": {"k": 5}}
+        assert decrypt(keys.secret_key, encrypt(keys.public_key, payload)) == payload
+
+    def test_wrong_key_fails(self):
+        keys = generate_keypair()
+        other = generate_keypair()
+        ciphertext = encrypt(keys.public_key, "secret")
+        with pytest.raises(DecryptionError):
+            decrypt(other.secret_key, ciphertext)
+
+    def test_tampered_ciphertext_fails(self):
+        keys = generate_keypair()
+        ciphertext = bytearray(encrypt(keys.public_key, "secret"))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            decrypt(keys.secret_key, bytes(ciphertext))
+
+    def test_truncated_ciphertext_fails(self):
+        keys = generate_keypair()
+        with pytest.raises(DecryptionError):
+            decrypt(keys.secret_key, b"short")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        keys = generate_keypair()
+        ciphertext = encrypt(keys.public_key, "hello world")
+        assert b"hello world" not in ciphertext

@@ -1,0 +1,56 @@
+"""Tests for the exhaustive placement optimum."""
+
+import pytest
+
+from repro.placement.assignment import placement_cost
+from repro.placement.bruteforce import MAX_BRUTE_FORCE_CANDIDATES, brute_force_placement
+from repro.placement.costs import PlacementCostModel
+from repro.placement.problem import PlacementProblem
+
+
+class TestBruteForce:
+    def test_optimum_beats_every_singleton(self, tiny_placement_problem):
+        plan = brute_force_placement(tiny_placement_problem)
+        for hub in tiny_placement_problem.candidates:
+            assert plan.balance_cost <= placement_cost(tiny_placement_problem, [hub]) + 1e-12
+
+    def test_optimum_beats_all_subsets(self, tiny_placement_problem):
+        from itertools import combinations
+
+        plan = brute_force_placement(tiny_placement_problem)
+        candidates = tiny_placement_problem.candidates
+        for size in range(1, len(candidates) + 1):
+            for subset in combinations(candidates, size):
+                assert plan.balance_cost <= placement_cost(tiny_placement_problem, subset) + 1e-12
+
+    def test_max_hubs_cap(self, tiny_placement_problem):
+        plan = brute_force_placement(tiny_placement_problem, max_hubs=1)
+        assert plan.hub_count == 1
+
+    def test_max_hubs_zero_rejected(self, tiny_placement_problem):
+        with pytest.raises(ValueError):
+            brute_force_placement(tiny_placement_problem, max_hubs=0)
+
+    def test_too_many_candidates_rejected(self):
+        count = MAX_BRUTE_FORCE_CANDIDATES + 1
+        candidates = [f"h{i}" for i in range(count)]
+        clients = ["c0"]
+        zeta = {"c0": {h: 1.0 for h in candidates}}
+        delta = {h: {l: 0.0 for l in candidates} for h in candidates}
+        epsilon = {h: {l: 0.0 for l in candidates} for h in candidates}
+        problem = PlacementProblem(PlacementCostModel(clients, candidates, zeta, delta, epsilon))
+        with pytest.raises(ValueError):
+            brute_force_placement(problem)
+
+    def test_omega_zero_places_hubs_near_every_client(self, tiny_placement_problem):
+        # Without synchronization cost, adding hubs can only help management
+        # cost, so the optimum assigns every client to its cheapest candidate.
+        problem = tiny_placement_problem.with_omega(0.0)
+        plan = brute_force_placement(problem)
+        expected = sum(
+            min(problem.costs.zeta[c][h] for h in problem.candidates) for c in problem.clients
+        )
+        assert plan.balance_cost == pytest.approx(expected)
+
+    def test_method_label(self, tiny_placement_problem):
+        assert brute_force_placement(tiny_placement_problem).method == "brute-force"

@@ -1,0 +1,69 @@
+"""Tests for the placement problem / plan data model."""
+
+import pytest
+
+from repro.placement.problem import PlacementProblem
+
+
+class TestPlanConstruction:
+    def test_make_plan_computes_costs(self, tiny_placement_problem):
+        assignment = {"c0": "h0", "c1": "h0", "c2": "h1", "c3": "h1"}
+        plan = tiny_placement_problem.make_plan(["h0", "h1"], assignment, method="manual")
+        assert plan.hub_count == 2
+        assert plan.method == "manual"
+        assert plan.management_cost > 0
+        assert plan.synchronization_cost > 0
+        assert plan.balance_cost == pytest.approx(
+            plan.management_cost + tiny_placement_problem.omega * plan.synchronization_cost
+        )
+
+    def test_clients_of_and_load(self, tiny_placement_problem):
+        assignment = {"c0": "h0", "c1": "h0", "c2": "h1", "c3": "h1"}
+        plan = tiny_placement_problem.make_plan(["h0", "h1"], assignment)
+        assert set(plan.clients_of("h0")) == {"c0", "c1"}
+        assert plan.load_per_hub() == {"h0": 2, "h1": 2}
+
+    def test_balance_cost_direct(self, tiny_placement_problem):
+        assignment = {c: "h1" for c in tiny_placement_problem.clients}
+        direct = tiny_placement_problem.balance_cost(["h1"], assignment)
+        plan = tiny_placement_problem.make_plan(["h1"], assignment)
+        assert direct == pytest.approx(plan.balance_cost)
+
+    def test_with_omega(self, tiny_placement_problem):
+        other = tiny_placement_problem.with_omega(1.0)
+        assert other.omega == 1.0
+        assert other.costs is tiny_placement_problem.costs
+
+    def test_negative_omega_rejected(self, tiny_placement_problem):
+        with pytest.raises(ValueError):
+            PlacementProblem(tiny_placement_problem.costs, omega=-0.1)
+
+    def test_counts(self, tiny_placement_problem):
+        assert tiny_placement_problem.client_count == 4
+        assert tiny_placement_problem.candidate_count == 3
+
+
+class TestValidation:
+    def test_empty_placement_rejected(self, tiny_placement_problem):
+        with pytest.raises(ValueError):
+            tiny_placement_problem.make_plan([], {})
+
+    def test_non_candidate_hub_rejected(self, tiny_placement_problem):
+        assignment = {c: "h0" for c in tiny_placement_problem.clients}
+        with pytest.raises(ValueError):
+            tiny_placement_problem.make_plan(["h0", "zzz"], assignment)
+
+    def test_unassigned_client_rejected(self, tiny_placement_problem):
+        with pytest.raises(ValueError):
+            tiny_placement_problem.make_plan(["h0"], {"c0": "h0"})
+
+    def test_unknown_client_rejected(self, tiny_placement_problem):
+        assignment = {c: "h0" for c in tiny_placement_problem.clients}
+        assignment["ghost"] = "h0"
+        with pytest.raises(ValueError):
+            tiny_placement_problem.make_plan(["h0"], assignment)
+
+    def test_assignment_to_unplaced_hub_rejected(self, tiny_placement_problem):
+        assignment = {c: "h1" for c in tiny_placement_problem.clients}
+        with pytest.raises(ValueError):
+            tiny_placement_problem.make_plan(["h0"], assignment)

@@ -1,0 +1,94 @@
+"""Tests for the unified placement solver facade."""
+
+import pytest
+
+from repro.placement.bruteforce import brute_force_placement
+from repro.placement.solver import (
+    CombinatorialBranchAndBound,
+    PlacementSolver,
+    build_problem,
+    solve_placement,
+)
+from repro.topology.generators import watts_strogatz_pcn
+
+
+class TestCombinatorialBranchAndBound:
+    def test_matches_brute_force(self, tiny_placement_problem):
+        exact = brute_force_placement(tiny_placement_problem)
+        plan = CombinatorialBranchAndBound(tiny_placement_problem).solve()
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, abs=1e-9)
+
+    def test_matches_brute_force_on_network_instance(self, small_placement_problem):
+        exact = brute_force_placement(small_placement_problem)
+        plan = CombinatorialBranchAndBound(small_placement_problem).solve()
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, rel=1e-9)
+
+    def test_warm_start(self, tiny_placement_problem):
+        warm = tuple(tiny_placement_problem.candidates)
+        plan = CombinatorialBranchAndBound(tiny_placement_problem).solve(initial_hubs=warm)
+        exact = brute_force_placement(tiny_placement_problem)
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, abs=1e-9)
+
+    def test_respects_node_limit(self, small_placement_problem):
+        solver = CombinatorialBranchAndBound(small_placement_problem, node_limit=2)
+        plan = solver.solve()
+        small_placement_problem.validate(plan.hubs, plan.assignment)
+        assert solver.nodes_explored <= 2
+
+
+class TestPlacementSolverFacade:
+    def test_brute_method(self, tiny_placement_problem):
+        plan = PlacementSolver(tiny_placement_problem, method="brute").solve()
+        assert plan.method == "brute-force"
+
+    def test_exact_method(self, tiny_placement_problem):
+        plan = PlacementSolver(tiny_placement_problem, method="exact").solve()
+        exact = brute_force_placement(tiny_placement_problem)
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, abs=1e-9)
+
+    def test_milp_method(self, tiny_placement_problem):
+        plan = PlacementSolver(tiny_placement_problem, method="milp").solve()
+        exact = brute_force_placement(tiny_placement_problem)
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, abs=1e-6)
+
+    def test_greedy_method(self, small_placement_problem):
+        plan = PlacementSolver(small_placement_problem, method="greedy", seed=0).solve()
+        small_placement_problem.validate(plan.hubs, plan.assignment)
+
+    def test_auto_uses_exact_for_small_instances(self, tiny_placement_problem):
+        plan = PlacementSolver(tiny_placement_problem, method="auto").solve()
+        exact = brute_force_placement(tiny_placement_problem)
+        assert plan.balance_cost == pytest.approx(exact.balance_cost, abs=1e-9)
+
+    def test_auto_uses_greedy_for_large_instances(self):
+        network = watts_strogatz_pcn(120, nearest_neighbors=6, candidate_fraction=0.2, seed=23)
+        problem = build_problem(network, omega=0.05)
+        plan = PlacementSolver(problem, method="auto", seed=0).solve()
+        assert plan.method == "double-greedy"
+
+    def test_unknown_method_rejected(self, tiny_placement_problem):
+        with pytest.raises(ValueError):
+            PlacementSolver(tiny_placement_problem, method="quantum")
+
+
+class TestSolvePlacementEntryPoint:
+    def test_from_network(self, small_ws_network):
+        plan = solve_placement(small_ws_network, omega=0.05, method="exact")
+        assert plan.hub_count >= 1
+        assert set(plan.assignment) == set(small_ws_network.clients())
+
+    def test_from_problem(self, tiny_placement_problem):
+        plan = solve_placement(tiny_placement_problem, method="brute")
+        assert plan.hub_count >= 1
+
+    def test_omega_changes_hub_count_direction(self, small_ws_network):
+        """Higher omega (synchronization dearer) never increases the hub count."""
+        few = solve_placement(small_ws_network, omega=2.0, method="exact")
+        many = solve_placement(small_ws_network, omega=0.0, method="exact")
+        assert many.hub_count >= few.hub_count
+
+    def test_solver_options_forwarded(self, small_ws_network):
+        plan = solve_placement(
+            small_ws_network, method="greedy", seed=1, deterministic_greedy=True
+        )
+        assert plan.hub_count >= 1

@@ -1,0 +1,49 @@
+"""Property-based tests of TU splitting and payment completion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.transaction import Payment, split_value
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    value=st.floats(min_value=0.01, max_value=10_000.0),
+    min_tu=st.floats(min_value=0.1, max_value=10.0),
+    extra=st.floats(min_value=0.0, max_value=40.0),
+)
+def test_split_value_invariants(value, min_tu, extra):
+    """Units sum to the value, respect Max-TU, and respect Min-TU when possible."""
+    max_tu = min_tu + extra
+    units = split_value(value, min_tu, max_tu)
+    assert sum(units) == pytest.approx(value, rel=1e-9, abs=1e-9)
+    assert all(unit <= max_tu + 1e-9 for unit in units)
+    assert all(unit > 0 for unit in units)
+    undersized = [unit for unit in units if unit < min_tu - 1e-9]
+    if value < min_tu:
+        assert len(units) == 1
+    elif max_tu >= 2.0 * min_tu:
+        # The paper's configuration (Max-TU >= 2 * Min-TU): every unit is valid.
+        assert not undersized
+    else:
+        # Pathological configurations may need one undersized remainder unit.
+        assert len(undersized) <= 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    value=st.floats(min_value=0.5, max_value=500.0),
+    delivery_order=st.randoms(use_true_random=False),
+)
+def test_payment_completes_exactly_when_all_units_delivered(value, delivery_order):
+    payment = Payment.create("s", "t", value, created_at=0.0, timeout=10.0)
+    units = payment.split(1.0, 4.0)
+    shuffled = list(units)
+    delivery_order.shuffle(shuffled)
+    for index, unit in enumerate(shuffled):
+        assert not payment.is_complete
+        payment.record_unit_delivery(unit, now=float(index))
+    assert payment.is_complete
+    assert payment.delivered_value == pytest.approx(value, rel=1e-9)
+    assert payment.completed_at == float(len(shuffled) - 1)

@@ -1,0 +1,141 @@
+"""Tests for the path selection strategies."""
+
+import pytest
+
+from repro.routing.paths import (
+    PATH_SELECTORS,
+    edge_disjoint_shortest_paths,
+    edge_disjoint_widest_paths,
+    get_path_selector,
+    heuristic_widest_paths,
+    k_shortest_paths,
+    landmark_paths,
+)
+from repro.topology.network import PCNetwork
+
+
+@pytest.fixture
+def diamond_network() -> PCNetwork:
+    """s connects to t through a wide two-hop path and a narrow direct channel."""
+    net = PCNetwork()
+    for node in ("s", "t", "wide", "narrow"):
+        net.add_node(node)
+    net.add_channel("s", "narrow", 10.0, 10.0)
+    net.add_channel("narrow", "t", 10.0, 10.0)
+    net.add_channel("s", "wide", 100.0, 100.0)
+    net.add_channel("wide", "t", 100.0, 100.0)
+    net.add_channel("s", "t", 5.0, 5.0)
+    return net
+
+
+def _edges(path):
+    return {frozenset(pair) for pair in zip(path, path[1:])}
+
+
+class TestKShortestPaths:
+    def test_returns_shortest_first(self, diamond_network):
+        paths = k_shortest_paths(diamond_network, "s", "t", 3)
+        assert paths[0] == ["s", "t"]
+        assert len(paths) == 3
+
+    def test_limits_to_k(self, diamond_network):
+        assert len(k_shortest_paths(diamond_network, "s", "t", 1)) == 1
+
+    def test_same_node(self, diamond_network):
+        assert k_shortest_paths(diamond_network, "s", "s", 3) == []
+
+    def test_disconnected(self, diamond_network):
+        diamond_network.add_node("island")
+        assert k_shortest_paths(diamond_network, "s", "island", 2) == []
+
+    def test_zero_k(self, diamond_network):
+        assert k_shortest_paths(diamond_network, "s", "t", 0) == []
+
+
+class TestWidestPaths:
+    def test_edw_prefers_wide_path(self, diamond_network):
+        paths = edge_disjoint_widest_paths(diamond_network, "s", "t", 1)
+        assert paths[0] == ["s", "wide", "t"]
+
+    def test_edw_paths_are_edge_disjoint(self, diamond_network):
+        paths = edge_disjoint_widest_paths(diamond_network, "s", "t", 3)
+        seen = set()
+        for path in paths:
+            edges = _edges(path)
+            assert not (edges & seen)
+            seen |= edges
+
+    def test_edw_respects_directional_balance(self, diamond_network):
+        # Drain the s -> wide direction; the widest path must change.
+        diamond_network.channel("s", "wide").transfer("s", 100.0)
+        paths = edge_disjoint_widest_paths(diamond_network, "s", "t", 1)
+        assert paths[0] != ["s", "wide", "t"]
+
+    def test_edw_k_limit(self, diamond_network):
+        assert len(edge_disjoint_widest_paths(diamond_network, "s", "t", 2)) == 2
+
+    def test_heuristic_prefers_high_funds(self, diamond_network):
+        paths = heuristic_widest_paths(diamond_network, "s", "t", 2)
+        assert ["s", "wide", "t"] in paths
+
+    def test_heuristic_empty_for_same_node(self, diamond_network):
+        assert heuristic_widest_paths(diamond_network, "s", "s", 2) == []
+
+
+class TestEdgeDisjointShortest:
+    def test_paths_are_edge_disjoint(self, diamond_network):
+        paths = edge_disjoint_shortest_paths(diamond_network, "s", "t", 3)
+        seen = set()
+        for path in paths:
+            edges = _edges(path)
+            assert not (edges & seen)
+            seen |= edges
+
+    def test_first_is_shortest(self, diamond_network):
+        paths = edge_disjoint_shortest_paths(diamond_network, "s", "t", 3)
+        assert paths[0] == ["s", "t"]
+
+    def test_exhausts_paths(self, line_network):
+        paths = edge_disjoint_shortest_paths(line_network, "n0", "n4", 5)
+        assert len(paths) == 1
+
+
+class TestLandmarkPaths:
+    def test_paths_go_through_landmarks(self, grid_network):
+        landmarks = [(1, 1), (2, 2)]
+        paths = landmark_paths(grid_network, (0, 0), (3, 3), 2, landmarks)
+        assert len(paths) >= 1
+        assert all(path[0] == (0, 0) and path[-1] == (3, 3) for path in paths)
+
+    def test_paths_are_simple(self, grid_network):
+        paths = landmark_paths(grid_network, (0, 0), (0, 3), 3, [(3, 0), (1, 2), (0, 1)])
+        for path in paths:
+            assert len(path) == len(set(path))
+
+    def test_duplicate_paths_removed(self, line_network):
+        paths = landmark_paths(line_network, "n0", "n4", 5, ["n1", "n2", "n3"])
+        assert len(paths) == 1
+
+    def test_same_node(self, line_network):
+        assert landmark_paths(line_network, "n0", "n0", 3, ["n1"]) == []
+
+
+class TestRegistry:
+    def test_all_table2_path_types_present(self):
+        assert set(PATH_SELECTORS) == {"ksp", "heuristic", "edw", "eds"}
+
+    def test_get_path_selector(self):
+        assert get_path_selector("EDW") is edge_disjoint_widest_paths
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError):
+            get_path_selector("quantum")
+
+    def test_all_selectors_return_valid_paths(self, diamond_network):
+        for name in PATH_SELECTORS:
+            selector = get_path_selector(name)
+            for path in selector(diamond_network, "s", "t", 3):
+                assert path[0] == "s"
+                assert path[-1] == "t"
+                for a, b in zip(path, path[1:]):
+                    assert diamond_network.has_channel(a, b)

@@ -1,0 +1,65 @@
+"""Tests for the waiting-queue schedulers (Table II)."""
+
+import pytest
+
+from repro.routing.scheduling import SCHEDULERS, edf, fifo, get_scheduler, lifo, spf
+from repro.routing.transaction import Payment
+
+
+def _units():
+    """Three units with distinct creation times, values and deadlines."""
+    specs = [
+        ("a", "b", 5.0, 0.0, 10.0),
+        ("a", "b", 1.0, 1.0, 5.0),
+        ("a", "b", 3.0, 2.0, 8.0),
+    ]
+    units = []
+    for sender, recipient, value, created, timeout in specs:
+        payment = Payment.create(sender, recipient, value, created_at=created, timeout=timeout)
+        units.append(payment.split(min_tu=value, max_tu=value)[0])
+    return units
+
+
+class TestOrderings:
+    def test_fifo_orders_by_arrival(self):
+        ordered = fifo(_units())
+        assert [u.created_at for u in ordered] == [0.0, 1.0, 2.0]
+
+    def test_lifo_orders_by_reverse_arrival(self):
+        ordered = lifo(_units())
+        assert [u.created_at for u in ordered] == [2.0, 1.0, 0.0]
+
+    def test_spf_orders_by_value(self):
+        ordered = spf(_units())
+        assert [u.value for u in ordered] == [1.0, 3.0, 5.0]
+
+    def test_edf_orders_by_deadline(self):
+        ordered = edf(_units())
+        assert [u.deadline for u in ordered] == sorted(u.deadline for u in _units())
+
+    def test_schedulers_do_not_mutate_input(self):
+        units = _units()
+        original = list(units)
+        lifo(units)
+        assert units == original
+
+    def test_all_schedulers_preserve_the_unit_set(self):
+        units = _units()
+        for scheduler in SCHEDULERS.values():
+            assert sorted(u.unit_id for u in scheduler(units)) == sorted(u.unit_id for u in units)
+
+    def test_empty_input(self):
+        for scheduler in SCHEDULERS.values():
+            assert scheduler([]) == []
+
+
+class TestRegistry:
+    def test_table2_schedulers_present(self):
+        assert set(SCHEDULERS) == {"fifo", "lifo", "spf", "edf"}
+
+    def test_get_scheduler_case_insensitive(self):
+        assert get_scheduler("LIFO") is lifo
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            get_scheduler("priority")

@@ -1,0 +1,102 @@
+"""Tests for the synthetic dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.topology.datasets import (
+    PAPER_CHANNEL_MEAN,
+    PAPER_CHANNEL_MEDIAN,
+    PAPER_CHANNEL_MIN,
+    ChannelSizeDistribution,
+    TransactionValueDistribution,
+    lightning_like_channel_sizes,
+    summarize,
+)
+
+
+class TestChannelSizeDistribution:
+    def test_matches_paper_statistics(self, rng):
+        dist = ChannelSizeDistribution()
+        samples = dist.sample(rng, size=40000)
+        assert samples.min() >= PAPER_CHANNEL_MIN
+        assert np.median(samples) == pytest.approx(PAPER_CHANNEL_MEDIAN, rel=0.10)
+        assert samples.mean() == pytest.approx(PAPER_CHANNEL_MEAN, rel=0.15)
+
+    def test_single_sample_is_float(self, rng):
+        assert isinstance(ChannelSizeDistribution().sample(rng), float)
+
+    def test_scaling(self, rng):
+        base = ChannelSizeDistribution()
+        doubled = base.scaled(2.0)
+        base_mean = base.sample(rng, size=20000).mean()
+        doubled_mean = doubled.sample(np.random.default_rng(12345), size=20000).mean()
+        assert doubled_mean == pytest.approx(2.0 * base_mean, rel=0.05)
+
+    def test_heavy_tail(self, rng):
+        samples = ChannelSizeDistribution().sample(rng, size=40000)
+        assert samples.mean() > np.median(samples)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ChannelSizeDistribution(scale=0.0)
+
+    def test_invalid_median_mean(self):
+        with pytest.raises(ValueError):
+            ChannelSizeDistribution(minimum=10.0, median=100.0, mean=50.0)
+
+
+class TestTransactionValueDistribution:
+    def test_minimum_enforced(self, rng):
+        dist = TransactionValueDistribution(minimum=2.0)
+        samples = dist.sample(rng, size=5000)
+        assert samples.min() >= 2.0
+
+    def test_tail_produces_large_values(self, rng):
+        dist = TransactionValueDistribution(mean_value=10.0, tail_fraction=0.2, tail_start=500.0)
+        samples = dist.sample(rng, size=20000)
+        assert (samples >= 500.0).mean() > 0.1
+
+    def test_no_tail(self, rng):
+        dist = TransactionValueDistribution(mean_value=10.0, tail_fraction=0.0, tail_start=500.0)
+        samples = dist.sample(rng, size=5000)
+        assert (samples >= 500.0).mean() < 0.02
+
+    def test_single_sample_is_float(self, rng):
+        assert isinstance(TransactionValueDistribution().sample(rng), float)
+
+    def test_scaled_copy(self, rng):
+        base = TransactionValueDistribution(mean_value=10.0, tail_fraction=0.0)
+        scaled = base.scaled(3.0)
+        assert scaled.scale == pytest.approx(3.0)
+        base_mean = base.sample(rng, size=20000).mean()
+        scaled_mean = scaled.sample(np.random.default_rng(12345), size=20000).mean()
+        assert scaled_mean == pytest.approx(3.0 * base_mean, rel=0.05)
+
+    def test_invalid_tail_fraction(self):
+        with pytest.raises(ValueError):
+            TransactionValueDistribution(tail_fraction=1.0)
+
+
+class TestHelpers:
+    def test_lightning_like_channel_sizes(self, rng):
+        sizes = lightning_like_channel_sizes(100, rng)
+        assert len(sizes) == 100
+        assert all(size >= PAPER_CHANNEL_MIN for size in sizes)
+
+    def test_lightning_like_zero_count(self, rng):
+        assert lightning_like_channel_sizes(0, rng) == []
+
+    def test_lightning_like_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            lightning_like_channel_sizes(-1, rng)
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0

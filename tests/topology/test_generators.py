@@ -1,0 +1,147 @@
+"""Tests for the PCN topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.topology.datasets import ChannelSizeDistribution
+from repro.topology.generators import (
+    assign_roles_from_placement,
+    grid_pcn,
+    multi_star_pcn,
+    paper_large_scale_network,
+    paper_small_scale_network,
+    random_pcn,
+    scale_free_pcn,
+    star_pcn,
+    watts_strogatz_pcn,
+)
+from repro.topology.network import ROLE_CANDIDATE, ROLE_CLIENT, ROLE_HUB
+
+
+class TestWattsStrogatz:
+    def test_basic_properties(self):
+        net = watts_strogatz_pcn(50, nearest_neighbors=6, seed=1)
+        assert net.node_count() == 50
+        assert net.is_connected()
+        assert net.channel_count() > 0
+
+    def test_candidate_fraction(self):
+        net = watts_strogatz_pcn(50, candidate_fraction=0.2, seed=1)
+        assert len(net.candidates()) == 10
+        assert len(net.clients()) == 40
+
+    def test_candidates_are_well_connected(self):
+        net = watts_strogatz_pcn(60, candidate_fraction=0.1, seed=2)
+        candidate_degrees = [net.degree(n) for n in net.candidates()]
+        client_degrees = [net.degree(n) for n in net.clients()]
+        assert min(candidate_degrees) >= np.median(client_degrees) - 1
+
+    def test_channel_size_sampler_used(self):
+        net = watts_strogatz_pcn(40, channel_sizes=ChannelSizeDistribution(), seed=3)
+        capacities = [channel.capacity for channel in net.channels()]
+        assert min(capacities) >= 10.0
+        assert len(set(round(c, 3) for c in capacities)) > 5
+
+    def test_uniform_channel_size(self):
+        net = watts_strogatz_pcn(20, uniform_channel_size=80.0, seed=4)
+        assert all(channel.capacity == pytest.approx(80.0) for channel in net.channels())
+
+    def test_deterministic_with_seed(self):
+        first = watts_strogatz_pcn(30, seed=9)
+        second = watts_strogatz_pcn(30, seed=9)
+        assert sorted(map(str, first.graph.edges())) == sorted(map(str, second.graph.edges()))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_pcn(2)
+
+
+class TestOtherGenerators:
+    def test_scale_free(self):
+        net = scale_free_pcn(40, attachment=2, seed=5)
+        assert net.node_count() == 40
+        assert net.is_connected()
+
+    def test_scale_free_too_small(self):
+        with pytest.raises(ValueError):
+            scale_free_pcn(2)
+
+    def test_random_pcn_connected(self):
+        net = random_pcn(30, seed=6)
+        assert net.is_connected()
+
+    def test_grid(self):
+        net = grid_pcn(3, 4, channel_size=10.0)
+        assert net.node_count() == 12
+        assert net.channel_count() == 3 * 3 + 2 * 4
+        assert net.hop_count((0, 0), (2, 3)) == 5
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_pcn(0, 3)
+
+
+class TestStarTopologies:
+    def test_star(self):
+        net = star_pcn(5)
+        assert net.node_count() == 6
+        assert net.hubs() == ["hub"]
+        assert all(net.degree(client) == 1 for client in net.clients())
+        assert net.degree("hub") == 5
+
+    def test_star_needs_clients(self):
+        with pytest.raises(ValueError):
+            star_pcn(0)
+
+    def test_multi_star_mesh(self, multi_star_network):
+        net = multi_star_network
+        assert len(net.hubs()) == 3
+        assert len(net.clients()) == 12
+        # Hubs form a full mesh: 3 hub-hub channels + 12 client channels.
+        assert net.channel_count() == 3 + 12
+
+    def test_multi_star_ring(self):
+        net = multi_star_pcn(hub_count=4, clients_per_hub=2, hub_mesh=False)
+        hub_edges = [
+            (a, b)
+            for a, b in net.graph.edges()
+            if str(a).startswith("hub") and str(b).startswith("hub")
+        ]
+        assert len(hub_edges) == 4
+
+    def test_multi_star_single_hub(self):
+        net = multi_star_pcn(hub_count=1, clients_per_hub=3)
+        assert net.channel_count() == 3
+
+    def test_multi_star_invalid(self):
+        with pytest.raises(ValueError):
+            multi_star_pcn(hub_count=0, clients_per_hub=1)
+
+
+class TestRoleAssignment:
+    def test_assign_roles_from_placement(self, small_ws_network):
+        candidates = small_ws_network.candidates()
+        chosen = candidates[:2]
+        assign_roles_from_placement(small_ws_network, chosen)
+        assert set(small_ws_network.hubs()) == set(chosen)
+        for node in candidates[2:]:
+            assert small_ws_network.role(node) == ROLE_CANDIDATE
+
+    def test_assignment_demotes_previous_hubs(self, small_ws_network):
+        candidates = small_ws_network.candidates()
+        assign_roles_from_placement(small_ws_network, candidates[:1])
+        assign_roles_from_placement(small_ws_network, candidates[1:2])
+        assert small_ws_network.hubs() == [candidates[1]]
+
+
+class TestPaperNetworks:
+    def test_small_scale(self):
+        net = paper_small_scale_network(seed=1)
+        assert net.node_count() == 100
+        assert net.is_connected()
+        assert len(net.candidates()) == 15
+
+    def test_large_scale_scaled_down(self):
+        net = paper_large_scale_network(node_count=200, seed=1)
+        assert net.node_count() == 200
+        assert net.is_connected()
