@@ -13,6 +13,8 @@ It contains:
   shortest-path comparison schemes.
 * :mod:`repro.simulator` -- a discrete-event PCN simulator used by the
   evaluation harness.
+* :mod:`repro.scenarios` -- declarative scenarios, mid-run network dynamics
+  and the parallel sweep runner behind the ``python -m repro`` CLI.
 * :mod:`repro.crypto` -- simulated key management, HTLC and contract layer.
 * :mod:`repro.analysis` -- experiment sweeps, metrics tables and statistics.
 """
@@ -22,10 +24,13 @@ from repro.core.splicer import SplicerSystem
 from repro.placement.problem import PlacementPlan, PlacementProblem
 from repro.placement.solver import PlacementSolver, solve_placement
 from repro.routing.router import RateRouter
+from repro.scenarios.registry import get_scenario, list_scenarios, register_scenario
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec
 from repro.simulator.experiment import ExperimentResult, ExperimentRunner
 from repro.topology.network import PCNetwork
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SplicerConfig",
@@ -35,6 +40,11 @@ __all__ = [
     "PlacementSolver",
     "solve_placement",
     "RateRouter",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     "ExperimentResult",
     "ExperimentRunner",
     "PCNetwork",

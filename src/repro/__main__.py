@@ -1,0 +1,158 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` -- show the registered scenarios,
+* ``show <scenario>`` -- print a scenario's spec as JSON,
+* ``run <scenario>`` -- execute a scenario grid in parallel, append
+  resumable JSONL results and print the aggregated per-scheme table.
+
+``run`` re-invoked with the same arguments performs zero duplicate
+simulation work: completed (scenario, seed, overrides) keys are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table, scenario_table
+from repro.scenarios.registry import get_scenario, list_scenarios
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import SchemeSpec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Splicer reproduction: scenario orchestration CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered scenarios")
+
+    show = commands.add_parser("show", help="print a scenario spec as JSON")
+    show.add_argument("scenario", help="registered scenario name")
+
+    run = commands.add_parser("run", help="execute a scenario grid")
+    run.add_argument("scenario", help="registered scenario name")
+    run.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument(
+        "--results-dir",
+        default=os.path.join("results", "scenarios"),
+        help="directory for the JSONL results (default results/scenarios)",
+    )
+    run.add_argument("--seeds", help="comma-separated seeds overriding the spec's")
+    run.add_argument(
+        "--schemes", help="comma-separated scheme names restricting the comparison"
+    )
+    run.add_argument("--nodes", type=int, help="override topology node count")
+    run.add_argument("--duration", type=float, help="override workload duration (seconds)")
+    run.add_argument(
+        "--arrival-rate", type=float, help="override workload arrival rate (payments/s)"
+    )
+    run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="PATH=JSON",
+        help="extra dotted-path override, e.g. --set workload.value_scale=2.0",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    return parser
+
+
+def _parse_value(raw: str) -> object:
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _spec_with_cli_overrides(args: argparse.Namespace):
+    spec = get_scenario(args.scenario)
+    overrides: Dict[str, object] = {}
+    if args.nodes is not None:
+        overrides["topology.params.node_count"] = args.nodes
+    if args.duration is not None:
+        overrides["workload.duration"] = args.duration
+    if args.arrival_rate is not None:
+        overrides["workload.arrival_rate"] = args.arrival_rate
+    for entry in args.set:
+        if "=" not in entry:
+            raise SystemExit(f"--set expects PATH=JSON, got {entry!r}")
+        path, raw = entry.split("=", 1)
+        overrides[path.strip()] = _parse_value(raw)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    if args.seeds:
+        spec.seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    if args.schemes:
+        wanted = [part.strip() for part in args.schemes.split(",") if part.strip()]
+        by_name = {scheme.name: scheme for scheme in spec.schemes}
+        spec.schemes = [by_name.get(name, SchemeSpec(name=name)) for name in wanted]
+    return spec
+
+
+def _command_list() -> int:
+    rows = [
+        {"scenario": name, "description": description}
+        for name, description in list_scenarios().items()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _command_show(scenario: str) -> int:
+    print(json.dumps(get_scenario(scenario).to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _spec_with_cli_overrides(args)
+    runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
+    total = len(spec.expand_runs())
+    print(
+        f"scenario {spec.name!r}: {total} run(s) "
+        f"({len(spec.seeds)} seed(s) x {max(total // max(len(spec.seeds), 1), 1)} grid point(s)), "
+        f"{args.workers} worker(s) -> {runner.results_path}"
+    )
+
+    started = time.perf_counter()
+    progress = None
+    if not args.quiet:
+
+        def progress(row: Dict[str, object]) -> None:
+            print(f"  done {row['run_key']}")
+
+    report = runner.run(on_row=progress)
+    elapsed = time.perf_counter() - started
+    print(
+        f"executed {report.executed} run(s), skipped {report.skipped} already-completed, "
+        f"in {elapsed:.1f}s"
+    )
+    print()
+    print(scenario_table(report.rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI dispatcher (exposed for tests)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "show":
+            return _command_show(args.scenario)
+        return _command_run(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

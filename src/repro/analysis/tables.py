@@ -66,6 +66,54 @@ def result_table(
     return format_table(result.as_rows(), columns=columns or default_columns)
 
 
+#: Metrics averaged by :func:`scenario_summary_rows`.
+SCENARIO_SUMMARY_METRICS = (
+    "success_ratio",
+    "normalized_throughput",
+    "average_delay",
+    "overhead_messages",
+)
+
+
+def scenario_summary_rows(
+    result_rows: Sequence[Dict[str, object]],
+    metrics: Sequence[str] = SCENARIO_SUMMARY_METRICS,
+) -> List[Dict[str, object]]:
+    """Aggregate scenario-runner JSONL rows into one row per scheme.
+
+    Args:
+        result_rows: Rows as produced by
+            :func:`repro.scenarios.runner.load_result_rows` -- each carries a
+            ``metrics`` mapping of scheme name to that run's metric dict.
+        metrics: Metric names to average across runs.
+
+    Returns:
+        One dictionary per scheme (first-seen order): the run count plus the
+        mean of every requested metric over all runs containing the scheme.
+    """
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for row in result_rows:
+        for scheme, scheme_metrics in row.get("metrics", {}).items():
+            bucket = sums.setdefault(scheme, {metric: 0.0 for metric in metrics})
+            counts[scheme] = counts.get(scheme, 0) + 1
+            for metric in metrics:
+                bucket[metric] += float(scheme_metrics.get(metric, 0.0))
+    return [
+        {
+            "scheme": scheme,
+            "runs": counts[scheme],
+            **{metric: sums[scheme][metric] / counts[scheme] for metric in metrics},
+        }
+        for scheme in sums
+    ]
+
+
+def scenario_table(result_rows: Sequence[Dict[str, object]]) -> str:
+    """Render scenario-runner rows as an aggregated per-scheme ASCII table."""
+    return format_table(scenario_summary_rows(result_rows))
+
+
 def to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
     """Render dictionaries as CSV text."""
     if not rows:

@@ -166,10 +166,19 @@ class PriceTable:
     # accessors
     # ------------------------------------------------------------------ #
     def prices(self, node_a: NodeId, node_b: NodeId) -> ChannelPrices:
-        """Price state of the channel between two adjacent nodes."""
+        """Price state of the channel between two adjacent nodes.
+
+        Channels opened after the table was built (network dynamics) get a
+        fresh zero-price entry on first access.
+        """
+        key = channel_key(node_a, node_b)
         try:
-            return self._prices[channel_key(node_a, node_b)]
+            return self._prices[key]
         except KeyError:
+            if self.network.has_channel(node_a, node_b):
+                channel = self.network.channel(node_a, node_b)
+                self._prices[key] = ChannelPrices(key[0], key[1], channel.capacity)
+                return self._prices[key]
             raise KeyError(f"no priced channel between {node_a!r} and {node_b!r}") from None
 
     def all_prices(self) -> Iterable[ChannelPrices]:

@@ -34,7 +34,7 @@ from repro.routing.prices import PriceTable
 from repro.routing.rate_control import PathRateController
 from repro.routing.scheduling import get_scheduler
 from repro.routing.transaction import Payment, PaymentStatus, TransactionUnit
-from repro.topology.channel import InsufficientFundsError
+from repro.topology.channel import ChannelError, InsufficientFundsError
 from repro.topology.network import PCNetwork
 
 NodeId = Hashable
@@ -278,8 +278,11 @@ class RateRouter:
             if entry.complete_at > now:
                 remaining.append(entry)
                 continue
-            for channel, lock_id in entry.locks:
-                channel.settle(lock_id)
+            if not self._try_settle_locks(entry):
+                # A channel on the path closed mid-flight (network dynamics);
+                # closing released its locks, so the unit cannot be delivered.
+                self._abort_in_flight(entry, report)
+                continue
             for sender, receiver in zip(entry.path, entry.path[1:]):
                 self.price_table.observe_transfer(sender, receiver, entry.unit.value)
             payment = self._payments.get(entry.unit.payment_id)
@@ -297,6 +300,41 @@ class RateRouter:
             self.total_fees_paid += entry.fee
             self.total_units_delivered += 1
         self._in_flight = remaining
+
+    def _try_settle_locks(self, entry: _InFlightUnit) -> bool:
+        """Settle an in-flight unit's locks hop by hop.
+
+        Settlement propagates backward from the receiver, as HTLC
+        acknowledgments do.  When a hop's channel was closed mid-flight (its
+        locks were force-released by the closure) every lock upstream of the
+        break -- the sender's included -- is released back to its sender and
+        the unit counts as aborted; hops downstream of the break had already
+        settled, so the intermediary at the break bears the loss, mirroring a
+        mid-path HTLC failure.
+        """
+        broken = False
+        for channel, lock_id in reversed(entry.locks):
+            if broken:
+                try:
+                    channel.release(lock_id)
+                except ChannelError:
+                    pass
+                continue
+            try:
+                channel.settle(lock_id)
+            except ChannelError:
+                broken = True
+        return not broken
+
+    def _abort_in_flight(self, entry: _InFlightUnit, report: StepReport) -> None:
+        """Account for a unit whose path broke while its locks were in flight."""
+        report.aborted_units += 1
+        self.congestion.on_abort(entry.path)
+        payment = self._payments.get(entry.unit.payment_id)
+        if payment is not None and not payment.is_failed:
+            payment.fail()
+            report.failed_payments.append(payment)
+            self._payments.pop(payment.payment_id, None)
 
     # -- price / rate updates ------------------------------------------- #
     def _maybe_update_prices(self, now: float) -> None:

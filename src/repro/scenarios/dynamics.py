@@ -1,0 +1,246 @@
+"""Mid-run network dynamics: channel churn, hub outages, capacity jamming.
+
+A :class:`DynamicsEvent` is a scheduled mutation of the live
+:class:`~repro.topology.network.PCNetwork`.  The experiment runner injects
+events through the discrete-event engine; each event fires at its ``time``,
+applies its mutation and returns an *undo* callable.  Events carrying a
+``duration`` are undone that many seconds later (a closed channel reopens, a
+jammed channel unjams); mutations still in effect when the run ends are
+undone before the next scheme replays the topology, which keeps the
+experiment runner's snapshot/restore machinery valid.
+
+Three adversarial/dynamic conditions from the PCN literature are modeled:
+
+* **churn** -- channels (or whole nodes) leave and rejoin the network, the
+  dominant dynamic of the measured Lightning Network,
+* **hub outage** -- a smooth node (or other highly connected node) fails,
+  taking all of its channels down at once; the stress test for any
+  hub-centered architecture such as this paper's,
+* **capacity jamming** -- an adversary locks up channel liquidity with
+  payments it never settles (the attack studied by the channel-jamming
+  literature), shrinking usable capacity without changing the graph.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.topology.channel import ChannelError
+from repro.topology.network import PCNetwork
+
+NodeId = Hashable
+Undo = Callable[[], None]
+
+
+@dataclass
+class DynamicsEvent(abc.ABC):
+    """One scheduled network mutation.
+
+    Attributes:
+        time: Simulation time at which the mutation applies.
+        duration: Seconds until the mutation reverts; ``None`` keeps it in
+            effect until the end of the run.
+    """
+
+    time: float = 0.0
+    duration: Optional[float] = None
+
+    @abc.abstractmethod
+    def apply(self, network: PCNetwork) -> Optional[Undo]:
+        """Mutate the network; return an undo callable, or ``None`` if a no-op."""
+
+
+def _reopen(
+    network: PCNetwork,
+    node_a: NodeId,
+    node_b: NodeId,
+    balances: Dict[NodeId, float],
+    base_fee: float,
+    fee_rate: float,
+) -> None:
+    if network.has_channel(node_a, node_b):
+        return  # another event already reopened the pair
+    network.add_channel(
+        node_a, node_b, balances[node_a], balances[node_b], base_fee, fee_rate
+    )
+
+
+@dataclass
+class ChannelClose(DynamicsEvent):
+    """Close the channel between two nodes (its in-flight locks are refunded)."""
+
+    node_a: NodeId = None
+    node_b: NodeId = None
+
+    def apply(self, network: PCNetwork) -> Optional[Undo]:
+        if not network.has_channel(self.node_a, self.node_b):
+            return None
+        channel = network.channel(self.node_a, self.node_b)
+        # Preserve the channel's own endpoint order so the reopened channel
+        # is indistinguishable from the original (snapshot keys included).
+        node_a, node_b = channel.endpoints
+        base_fee, fee_rate = channel.base_fee, channel.fee_rate
+        settlement = network.remove_channel(node_a, node_b)
+        return lambda: _reopen(network, node_a, node_b, settlement, base_fee, fee_rate)
+
+
+@dataclass
+class ChannelOpen(DynamicsEvent):
+    """Open a fresh channel between two existing nodes."""
+
+    node_a: NodeId = None
+    node_b: NodeId = None
+    balance_a: float = 100.0
+    balance_b: Optional[float] = None
+
+    def apply(self, network: PCNetwork) -> Optional[Undo]:
+        if (
+            not network.has_node(self.node_a)
+            or not network.has_node(self.node_b)
+            or network.has_channel(self.node_a, self.node_b)
+        ):
+            return None
+        network.add_channel(self.node_a, self.node_b, self.balance_a, self.balance_b)
+
+        def undo() -> None:
+            if network.has_channel(self.node_a, self.node_b):
+                network.remove_channel(self.node_a, self.node_b)
+
+        return undo
+
+
+@dataclass
+class HubOutage(DynamicsEvent):
+    """Take a node offline by closing every one of its channels at once."""
+
+    node: NodeId = None
+
+    def apply(self, network: PCNetwork) -> Optional[Undo]:
+        if not network.has_node(self.node):
+            return None
+        closed: List[Tuple[NodeId, NodeId, Dict[NodeId, float], float, float]] = []
+        for neighbor in network.neighbors(self.node):
+            channel = network.channel(self.node, neighbor)
+            node_a, node_b = channel.endpoints
+            base_fee, fee_rate = channel.base_fee, channel.fee_rate
+            settlement = network.remove_channel(node_a, node_b)
+            closed.append((node_a, node_b, settlement, base_fee, fee_rate))
+        if not closed:
+            return None
+
+        def undo() -> None:
+            for node_a, node_b, settlement, base_fee, fee_rate in closed:
+                _reopen(network, node_a, node_b, settlement, base_fee, fee_rate)
+
+        return undo
+
+
+@dataclass
+class ChannelJam(DynamicsEvent):
+    """Lock up a fraction of a channel's spendable liquidity (jamming attack).
+
+    The adversary holds payments it never settles: both directions lose
+    ``fraction`` of their current spendable balance for the event's duration.
+    The graph is untouched -- paths still exist, they just cannot carry value.
+    """
+
+    node_a: NodeId = None
+    node_b: NodeId = None
+    fraction: float = 0.9
+
+    def apply(self, network: PCNetwork) -> Optional[Undo]:
+        if not network.has_channel(self.node_a, self.node_b):
+            return None
+        channel = network.channel(self.node_a, self.node_b)
+        lock_ids: List[int] = []
+        for endpoint in channel.endpoints:
+            amount = channel.balance(endpoint) * self.fraction
+            if amount > 0:
+                lock_ids.append(channel.lock(endpoint, amount, now=self.time, tag="jam"))
+        if not lock_ids:
+            return None
+
+        def undo() -> None:
+            for lock_id in lock_ids:
+                try:
+                    channel.release(lock_id)
+                except ChannelError:
+                    pass  # the channel was closed meanwhile; closure refunded it
+
+        return undo
+
+
+# ---------------------------------------------------------------------- #
+# event-train factories (used by the scenario specs)
+# ---------------------------------------------------------------------- #
+def churn_events(
+    network: PCNetwork,
+    rng: np.random.Generator,
+    count: int = 10,
+    start: float = 1.0,
+    end: float = 6.0,
+    down_time: float = 2.0,
+) -> List[DynamicsEvent]:
+    """Random channel closures with reopening, spread over a time window."""
+    channels = sorted(
+        ((channel.node_a, channel.node_b) for channel in network.channels()),
+        key=repr,
+    )
+    if not channels or count <= 0:
+        return []
+    picks = rng.choice(len(channels), size=min(count, len(channels)), replace=False)
+    times = np.sort(rng.uniform(start, max(end, start), size=len(picks)))
+    return [
+        ChannelClose(
+            time=float(times[i]),
+            duration=down_time,
+            node_a=channels[int(index)][0],
+            node_b=channels[int(index)][1],
+        )
+        for i, index in enumerate(picks)
+    ]
+
+
+def hub_outage_events(
+    network: PCNetwork,
+    at: float = 2.0,
+    duration: Optional[float] = 4.0,
+    count: int = 1,
+) -> List[DynamicsEvent]:
+    """Fail the ``count`` best-connected hub(-candidate) nodes at ``at``.
+
+    Targets hubs when any are placed, otherwise hub candidates, otherwise the
+    best-connected nodes overall -- so the event is meaningful both for
+    hub-based schemes and the source-routing baselines.
+    """
+    pool = network.hubs() or network.candidates() or network.nodes()
+    ranked = sorted(pool, key=lambda node: (-network.degree(node), repr(node)))
+    return [HubOutage(time=at, duration=duration, node=node) for node in ranked[:count]]
+
+
+def jamming_events(
+    network: PCNetwork,
+    at: float = 1.0,
+    duration: Optional[float] = 6.0,
+    count: int = 10,
+    fraction: float = 0.9,
+) -> List[DynamicsEvent]:
+    """Jam the ``count`` highest-capacity channels (the adversary's best buy)."""
+    ranked = sorted(
+        network.channels(),
+        key=lambda channel: (-channel.capacity, repr(channel.endpoints)),
+    )
+    return [
+        ChannelJam(
+            time=at,
+            duration=duration,
+            node_a=channel.node_a,
+            node_b=channel.node_b,
+            fraction=fraction,
+        )
+        for channel in ranked[:count]
+    ]

@@ -1,0 +1,247 @@
+"""Parallel scenario orchestration with resumable JSONL results.
+
+:class:`ScenarioRunner` expands a :class:`~repro.scenarios.spec.ScenarioSpec`
+into its run grid (seeds x parameter combinations), fans the runs out over a
+``multiprocessing`` pool, and appends one JSON line per finished run to
+``<results_dir>/<scenario>.jsonl``.  Each run is keyed by its scenario name,
+seed and overrides; re-running the same scenario skips keys already present
+in the results file, so interrupted sweeps resume where they stopped and a
+completed sweep re-runs in zero simulation work.
+
+Determinism: every run derives all of its randomness from its own
+``(seed, purpose)`` pair (see :func:`~repro.scenarios.spec.derive_seed`), so
+the produced rows are identical whatever the worker count or completion
+order.  Rows are written in completion order; consumers that need a stable
+order sort by ``run_key``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scenarios.spec import ScenarioSpec, derive_seed
+
+#: Bumped when the row layout changes; rows with another version are ignored
+#: by resume so stale files never mask new work.
+RESULT_SCHEMA_VERSION = 1
+
+#: Spec fields that expand or label the grid rather than parameterize a run;
+#: changing them must not invalidate already-completed runs.
+_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description")
+
+
+def spec_fingerprint(spec_dict: Dict[str, object]) -> str:
+    """A short stable hash of everything that parameterizes one run.
+
+    Two runs with the same (scenario, seed, overrides) but different
+    topology/workload/scheme/dynamics parameters -- e.g. a CLI ``--nodes``
+    override -- must get different keys, or resume would skip the new
+    configuration and present stale rows as current.  Seeds, the grid and
+    the description only expand or label runs, so they stay out of the hash.
+    """
+    material = {
+        key: value
+        for key, value in spec_dict.items()
+        if key not in _NON_FINGERPRINT_FIELDS
+    }
+    digest = hashlib.sha256(
+        json.dumps(material, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return digest[:12]
+
+
+def run_key(
+    scenario: str,
+    seed: int,
+    overrides: Dict[str, object],
+    fingerprint: str = "",
+) -> str:
+    """Stable identifier of one run inside a results file."""
+    return (
+        f"{scenario}|cfg={fingerprint}|seed={seed}|"
+        f"{json.dumps(overrides, sort_keys=True, default=str)}"
+    )
+
+
+def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[str, object]:
+    """Execute one (spec dict, seed, overrides) task and return its result row.
+
+    Module-level so it pickles for worker processes; the spec travels as a
+    plain dict for the same reason.
+    """
+    spec_dict, seed, overrides = task
+    spec = ScenarioSpec.from_dict(spec_dict)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    runner, schemes = spec.build_experiment(seed)
+    rng = np.random.default_rng(derive_seed(seed, "schemes"))
+    result = runner.run(schemes, rng=rng)
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "run_key": run_key(spec.name, seed, overrides, spec_fingerprint(spec_dict)),
+        "scenario": spec.name,
+        "seed": seed,
+        "overrides": overrides,
+        "workload_count": result.workload_count,
+        "workload_value": round(result.workload_value, 3),
+        "metrics": {name: metrics.as_dict() for name, metrics in result.metrics.items()},
+    }
+
+
+def load_result_rows(path: str) -> List[Dict[str, object]]:
+    """Parse a results JSONL file, skipping corrupt/partial lines.
+
+    A run killed mid-write leaves at most one truncated trailing line; it is
+    dropped (and its run re-executes on resume) rather than poisoning the
+    whole file.
+    """
+    rows: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return rows
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if row.get("schema_version") == RESULT_SCHEMA_VERSION and "run_key" in row:
+                rows.append(row)
+    return rows
+
+
+@dataclass
+class ScenarioRunReport:
+    """What one :meth:`ScenarioRunner.run` invocation did."""
+
+    scenario: str
+    results_path: str
+    executed: int
+    skipped: int
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All runs of the grid (executed now plus previously completed)."""
+        return self.executed + self.skipped
+
+
+class ScenarioRunner:
+    """Runs a scenario's full grid over worker processes, resumably."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        results_dir: str = os.path.join("results", "scenarios"),
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.spec = spec
+        self.results_dir = results_dir
+        self.workers = workers
+
+    @property
+    def results_path(self) -> str:
+        """The scenario's JSONL results file."""
+        return os.path.join(self.results_dir, f"{self.spec.name}.jsonl")
+
+    def completed_keys(self) -> set:
+        """Run keys already present in the results file."""
+        return {row["run_key"] for row in load_result_rows(self.results_path)}
+
+    def expected_keys(self) -> List[str]:
+        """Run keys of this spec's full grid, in grid order."""
+        fingerprint = spec_fingerprint(self.spec.to_dict())
+        return [
+            run_key(self.spec.name, seed, overrides, fingerprint)
+            for seed, overrides in self.spec.expand_runs()
+        ]
+
+    def pending_tasks(self) -> List[Tuple[Dict[str, object], int, Dict[str, object]]]:
+        """Grid entries not yet present in the results file, in grid order."""
+        done = self.completed_keys()
+        spec_dict = self.spec.to_dict()
+        fingerprint = spec_fingerprint(spec_dict)
+        return [
+            (spec_dict, seed, overrides)
+            for seed, overrides in self.spec.expand_runs()
+            if run_key(self.spec.name, seed, overrides, fingerprint) not in done
+        ]
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        on_row: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> ScenarioRunReport:
+        """Execute every pending run and append its row to the results file.
+
+        Args:
+            workers: Worker-process count (defaults to the constructor's).
+            on_row: Optional progress callback invoked with each fresh row.
+        """
+        worker_count = self.workers if workers is None else workers
+        tasks = self.pending_tasks()
+        skipped = len(self.spec.expand_runs()) - len(tasks)
+        os.makedirs(self.results_dir, exist_ok=True)
+
+        fresh_rows: List[Dict[str, object]] = []
+        if tasks:
+            self._terminate_partial_line()
+            with open(self.results_path, "a", encoding="utf-8") as handle:
+
+                def record(row: Dict[str, object]) -> None:
+                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+                    handle.flush()
+                    fresh_rows.append(row)
+                    if on_row is not None:
+                        on_row(row)
+
+                if worker_count <= 1 or len(tasks) == 1:
+                    for task in tasks:
+                        record(execute_run(task))
+                else:
+                    with multiprocessing.Pool(min(worker_count, len(tasks))) as pool:
+                        for row in pool.imap_unordered(execute_run, tasks):
+                            record(row)
+
+        # Report only this spec's rows: the file may also hold rows of the
+        # same scenario run with other parameters (different fingerprints),
+        # which must not leak into the aggregate.
+        expected = set(self.expected_keys())
+        return ScenarioRunReport(
+            scenario=self.spec.name,
+            results_path=self.results_path,
+            executed=len(fresh_rows),
+            skipped=skipped,
+            rows=[
+                row
+                for row in load_result_rows(self.results_path)
+                if row["run_key"] in expected
+            ],
+        )
+
+    def _terminate_partial_line(self) -> None:
+        """Newline-terminate a file left truncated by a mid-write crash.
+
+        Without this, the first appended row would concatenate onto the
+        partial line and both rows would be lost to the JSON parser.
+        """
+        if not os.path.exists(self.results_path):
+            return
+        with open(self.results_path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")

@@ -1,0 +1,410 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` fully describes one reproducible experiment family:
+the topology to generate, the workload to offer, the routing schemes to
+compare, the network dynamics to inject mid-run, the seeds to repeat over
+and an optional parameter grid to sweep.  Specs are plain-data: they
+serialize to and from nested dictionaries (JSON-safe), which is what the
+scenario registry ships, the CLI prints, and the parallel runner sends to
+worker processes.
+
+Seed discipline: every run derives its topology/workload/dynamics/scheme
+seeds from ``(base seed, purpose)`` with a stable hash, so results are
+bit-identical regardless of execution order or worker count.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import SCHEME_REGISTRY, RoutingScheme, SplicerScheme
+from repro.core.config import SplicerConfig
+from repro.routing.router import RouterConfig
+from repro.scenarios.dynamics import (
+    ChannelClose,
+    ChannelJam,
+    ChannelOpen,
+    DynamicsEvent,
+    HubOutage,
+    churn_events,
+    hub_outage_events,
+    jamming_events,
+)
+from repro.simulator.experiment import ExperimentRunner
+from repro.simulator.workload import TransactionWorkload, WorkloadConfig, generate_workload
+from repro.topology.datasets import ChannelSizeDistribution, TransactionValueDistribution
+from repro.topology.generators import (
+    grid_pcn,
+    multi_star_pcn,
+    random_pcn,
+    scale_free_pcn,
+    star_pcn,
+    watts_strogatz_pcn,
+)
+from repro.topology.network import PCNetwork
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A stable 31-bit seed derived from a base seed and a purpose label.
+
+    Uses SHA-256 over the repr of the components, so the same (base, parts)
+    always yields the same seed on every platform, Python hash randomization
+    notwithstanding.
+    """
+    material = repr((int(base),) + tuple(parts)).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:4], "big") & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------- #
+# topology
+# ---------------------------------------------------------------------- #
+_TOPOLOGY_BUILDERS = {
+    "watts-strogatz": watts_strogatz_pcn,
+    "scale-free": scale_free_pcn,
+    "random": random_pcn,
+    "grid": grid_pcn,
+    "star": star_pcn,
+    "multi-star": multi_star_pcn,
+}
+
+#: Generators whose signature has no ``seed``/``channel_sizes`` parameters.
+_UNSEEDED_TOPOLOGIES = {"star", "multi-star"}
+
+
+@dataclass
+class TopologySpec:
+    """Which topology generator to run and with which parameters.
+
+    Attributes:
+        kind: Generator name (see ``_TOPOLOGY_BUILDERS``).
+        params: Keyword arguments passed to the generator verbatim
+            (e.g. ``node_count``, ``nearest_neighbors``).
+        channel_scale: Scale of the paper's heavy-tailed channel-size
+            distribution; ``None`` uses the generator's uniform sizing.
+    """
+
+    kind: str = "watts-strogatz"
+    params: Dict[str, object] = field(default_factory=dict)
+    channel_scale: Optional[float] = 1.0
+
+    def build(self, seed: int) -> PCNetwork:
+        """Generate the funded network deterministically from ``seed``."""
+        try:
+            builder = _TOPOLOGY_BUILDERS[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{sorted(_TOPOLOGY_BUILDERS)}"
+            ) from None
+        kwargs = dict(self.params)
+        if self.kind not in _UNSEEDED_TOPOLOGIES:
+            kwargs.setdefault("seed", seed)
+            if self.channel_scale is not None and self.kind in ("watts-strogatz", "scale-free", "random"):
+                kwargs.setdefault(
+                    "channel_sizes", ChannelSizeDistribution(scale=self.channel_scale)
+                )
+        return builder(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# workload
+# ---------------------------------------------------------------------- #
+@dataclass
+class WorkloadSpec:
+    """Workload parameters plus optional flash-crowd bursts.
+
+    Mirrors :class:`~repro.simulator.workload.WorkloadConfig`; ``bursts`` is
+    a list of ``(start, end, rate_multiplier)`` windows during which the
+    arrival rate is multiplied, modeling flash-crowd demand spikes.
+    """
+
+    duration: float = 8.0
+    arrival_rate: float = 20.0
+    value_scale: float = 1.0
+    mean_value: float = 15.0
+    tail_fraction: float = 0.08
+    tail_start: float = 80.0
+    sender_skew: float = 0.6
+    recipient_skew: float = 1.2
+    deadlock_fraction: float = 0.2
+    min_value: float = 1.0
+    bursts: List[List[float]] = field(default_factory=list)
+
+    def _config(self, seed: int, duration: float, arrival_rate: float) -> WorkloadConfig:
+        return WorkloadConfig(
+            duration=duration,
+            arrival_rate=arrival_rate,
+            value_distribution=TransactionValueDistribution(
+                mean_value=self.mean_value,
+                tail_fraction=self.tail_fraction,
+                tail_start=self.tail_start,
+            ),
+            value_scale=self.value_scale,
+            sender_skew=self.sender_skew,
+            recipient_skew=self.recipient_skew,
+            deadlock_fraction=self.deadlock_fraction,
+            min_value=self.min_value,
+            seed=seed,
+        )
+
+    def build(self, network: PCNetwork, seed: int) -> TransactionWorkload:
+        """Generate the workload (baseline Poisson process plus bursts)."""
+        base = generate_workload(network, self._config(seed, self.duration, self.arrival_rate))
+        requests = list(base.requests)
+        for index, burst in enumerate(self.bursts):
+            start, end, multiplier = float(burst[0]), float(burst[1]), float(burst[2])
+            extra_rate = self.arrival_rate * (multiplier - 1.0)
+            if end <= start or extra_rate <= 0:
+                continue
+            extra = generate_workload(
+                network,
+                self._config(derive_seed(seed, "burst", index), end - start, extra_rate),
+            )
+            requests.extend(
+                replace(request, arrival_time=request.arrival_time + start)
+                for request in extra.requests
+            )
+        requests.sort(key=lambda request: request.arrival_time)
+        return TransactionWorkload(
+            requests=requests, config=base.config, deadlock_motifs=base.deadlock_motifs
+        )
+
+
+# ---------------------------------------------------------------------- #
+# dynamics
+# ---------------------------------------------------------------------- #
+@dataclass
+class DynamicsEventSpec:
+    """One declarative dynamics entry, resolved against the built network.
+
+    Kinds:
+        ``channel-close`` / ``channel-open`` / ``hub-outage`` / ``channel-jam``
+            One concrete event; targets come from ``params`` (for
+            ``hub-outage`` without an explicit ``node``, and for the
+            factory kinds, targets are resolved from the topology).
+        ``churn``
+            A train of random channel closures with reopening
+            (params: ``count``, ``start``, ``end``, ``down_time``).
+        ``jamming``
+            Jams the highest-capacity channels
+            (params: ``count``, ``fraction``).
+    """
+
+    kind: str = "channel-close"
+    time: float = 0.0
+    duration: Optional[float] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, network: PCNetwork, rng: np.random.Generator) -> List[DynamicsEvent]:
+        """Resolve the spec into concrete events on the given network."""
+        params = dict(self.params)
+        if self.kind == "channel-close":
+            return [
+                ChannelClose(
+                    time=self.time,
+                    duration=self.duration,
+                    node_a=params["node_a"],
+                    node_b=params["node_b"],
+                )
+            ]
+        if self.kind == "channel-open":
+            return [
+                ChannelOpen(
+                    time=self.time,
+                    duration=self.duration,
+                    node_a=params["node_a"],
+                    node_b=params["node_b"],
+                    balance_a=float(params.get("balance_a", 100.0)),
+                    balance_b=params.get("balance_b"),
+                )
+            ]
+        if self.kind == "hub-outage":
+            if "node" in params:
+                return [HubOutage(time=self.time, duration=self.duration, node=params["node"])]
+            return hub_outage_events(
+                network,
+                at=self.time,
+                duration=self.duration,
+                count=int(params.get("count", 1)),
+            )
+        if self.kind == "channel-jam":
+            return [
+                ChannelJam(
+                    time=self.time,
+                    duration=self.duration,
+                    node_a=params["node_a"],
+                    node_b=params["node_b"],
+                    fraction=float(params.get("fraction", 0.9)),
+                )
+            ]
+        if self.kind == "churn":
+            return churn_events(
+                network,
+                rng,
+                count=int(params.get("count", 10)),
+                start=float(params.get("start", self.time)),
+                end=float(params.get("end", self.time + 5.0)),
+                down_time=float(params.get("down_time", self.duration or 2.0)),
+            )
+        if self.kind == "jamming":
+            return jamming_events(
+                network,
+                at=self.time,
+                duration=self.duration,
+                count=int(params.get("count", 10)),
+                fraction=float(params.get("fraction", 0.9)),
+            )
+        raise ValueError(f"unknown dynamics kind {self.kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# schemes
+# ---------------------------------------------------------------------- #
+@dataclass
+class SchemeSpec:
+    """One routing scheme by registry name plus constructor parameters."""
+
+    name: str = "splicer"
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(self) -> RoutingScheme:
+        """Instantiate the scheme from the baselines registry."""
+        if self.name not in SCHEME_REGISTRY:
+            raise ValueError(
+                f"unknown scheme {self.name!r}; expected one of {sorted(SCHEME_REGISTRY)}"
+            )
+        params = dict(self.params)
+        if self.name == "splicer":
+            router = RouterConfig(**params.pop("router", {}))
+            config = SplicerConfig(
+                router=router,
+                placement_method=params.pop("placement_method", "greedy"),
+                placement_seed=params.pop("placement_seed", 0),
+                **params,
+            )
+            return SplicerScheme(config)
+        return SCHEME_REGISTRY[self.name](**params)
+
+
+# ---------------------------------------------------------------------- #
+# the scenario itself
+# ---------------------------------------------------------------------- #
+@dataclass
+class ScenarioSpec:
+    """A complete, serializable scenario definition.
+
+    Attributes:
+        name: Registry / results-file name.
+        description: One-line human description (shown by ``repro list``).
+        topology / workload / schemes / dynamics: The experiment pieces.
+        seeds: Base seeds; every seed is one independent run.
+        grid: Parameter sweep as dotted override paths to value lists, e.g.
+            ``{"workload.value_scale": [1, 2, 4]}``; the runner executes the
+            full Cartesian product for every seed.
+        step_size / drain_time: Experiment-runner stepping parameters.
+    """
+
+    name: str
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    schemes: List[SchemeSpec] = field(
+        default_factory=lambda: [SchemeSpec(name="splicer"), SchemeSpec(name="spider")]
+    )
+    dynamics: List[DynamicsEventSpec] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=lambda: [1])
+    grid: Dict[str, List[object]] = field(default_factory=dict)
+    step_size: float = 0.1
+    drain_time: float = 4.0
+
+    # -- serialization ------------------------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict (JSON-safe) representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        payload = copy.deepcopy(dict(data))
+        payload["topology"] = TopologySpec(**payload.get("topology", {}))
+        payload["workload"] = WorkloadSpec(**payload.get("workload", {}))
+        payload["schemes"] = [SchemeSpec(**entry) for entry in payload.get("schemes", [])]
+        payload["dynamics"] = [
+            DynamicsEventSpec(**entry) for entry in payload.get("dynamics", [])
+        ]
+        known = {spec_field.name for spec_field in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    # -- overrides and grid expansion ---------------------------------- #
+    def with_overrides(self, overrides: Dict[str, object]) -> "ScenarioSpec":
+        """A deep copy with dotted-path fields replaced.
+
+        Paths traverse dataclass attributes, dictionary keys and list
+        indices, e.g. ``workload.arrival_rate``,
+        ``topology.params.node_count`` or ``dynamics.0.params.fraction``.
+        """
+        spec = copy.deepcopy(self)
+        for path, value in overrides.items():
+            target: object = spec
+            parts = path.split(".")
+            for part in parts[:-1]:
+                if isinstance(target, dict):
+                    target = target[part]
+                elif isinstance(target, list):
+                    target = target[int(part)]
+                else:
+                    target = getattr(target, part)
+            last = parts[-1]
+            if isinstance(target, dict):
+                target[last] = value
+            elif isinstance(target, list):
+                target[int(last)] = value
+            elif hasattr(target, last):
+                setattr(target, last, value)
+            else:
+                raise KeyError(f"override path {path!r} does not resolve on {type(target).__name__}")
+        return spec
+
+    def expand_runs(self) -> List[Tuple[int, Dict[str, object]]]:
+        """All (seed, overrides) pairs of the seeds x grid Cartesian product."""
+        keys = sorted(self.grid)
+        combos: List[Dict[str, object]] = [
+            dict(zip(keys, values))
+            for values in itertools.product(*(self.grid[key] for key in keys))
+        ]
+        return [(seed, dict(combo)) for seed in self.seeds for combo in combos]
+
+    # -- building ------------------------------------------------------ #
+    def build_experiment(self, seed: int) -> Tuple[ExperimentRunner, List[RoutingScheme]]:
+        """Build the runner (network + workload + dynamics) and the schemes."""
+        network = self.topology.build(derive_seed(seed, "topology"))
+        workload = self.workload.build(network, derive_seed(seed, "workload"))
+        dynamics_rng = np.random.default_rng(derive_seed(seed, "dynamics"))
+        events: List[DynamicsEvent] = []
+        for event_spec in self.dynamics:
+            events.extend(event_spec.build(network, dynamics_rng))
+        events.sort(key=lambda event: event.time)
+        runner = ExperimentRunner(
+            network,
+            workload,
+            step_size=self.step_size,
+            drain_time=self.drain_time,
+            dynamics=events,
+        )
+        return runner, [scheme_spec.build() for scheme_spec in self.schemes]
+
+    def run_once(self, seed: int):
+        """Execute one seed of this scenario and return the experiment result."""
+        runner, schemes = self.build_experiment(seed)
+        rng = np.random.default_rng(derive_seed(seed, "schemes"))
+        return runner.run(
+            schemes,
+            rng=rng,
+            parameters={"scenario": self.name, "seed": seed},
+        )

@@ -16,6 +16,7 @@ class EventKind(enum.Enum):
     PAYMENT_ARRIVAL = "payment_arrival"
     SCHEME_TICK = "scheme_tick"
     EPOCH_BOUNDARY = "epoch_boundary"
+    TOPOLOGY_CHANGE = "topology_change"
     CUSTOM = "custom"
 
 

@@ -11,17 +11,39 @@ and Table II.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro.baselines.base import RoutingScheme, SchemeStepReport
+if TYPE_CHECKING:  # imported lazily to keep simulator importable before baselines
+    from repro.baselines.base import RoutingScheme, SchemeStepReport
+
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.events import EventKind
 from repro.simulator.metrics import MetricsCollector, SchemeMetrics
 from repro.simulator.workload import TransactionWorkload
 from repro.topology.network import PCNetwork
+
+
+class NetworkDynamicsEvent(Protocol):
+    """A mid-run network mutation the runner injects through the engine.
+
+    Implemented by :mod:`repro.scenarios.dynamics`; the runner only relies on
+    this structural interface so the simulator stays independent of the
+    scenario layer.  ``apply`` mutates the network and returns an undo
+    callable (or ``None`` when the event was a no-op, e.g. closing a channel
+    that is already gone).  Events with a ``duration`` are automatically
+    undone that many seconds after they fire; every mutation still
+    outstanding at the end of a run is undone before the next scheme runs,
+    so snapshot/restore replay keeps working.
+    """
+
+    time: float
+    duration: Optional[float]
+
+    def apply(self, network: PCNetwork) -> Optional[Callable[[], None]]: ...
 
 
 @dataclass
@@ -75,6 +97,7 @@ class ExperimentRunner:
         workload: TransactionWorkload,
         step_size: float = 0.1,
         drain_time: float = 5.0,
+        dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
     ) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
@@ -84,7 +107,12 @@ class ExperimentRunner:
         self.workload = workload
         self.step_size = step_size
         self.drain_time = drain_time
+        self.dynamics: List[NetworkDynamicsEvent] = list(dynamics or [])
         self._snapshot = network.snapshot()
+        self._channel_fees = {
+            frozenset(channel.endpoints): (channel.base_fee, channel.fee_rate)
+            for channel in network.channels()
+        }
 
     # ------------------------------------------------------------------ #
     # public API
@@ -94,11 +122,12 @@ class ExperimentRunner:
         schemes: Sequence[RoutingScheme],
         rng: Optional[np.random.Generator] = None,
         parameters: Optional[Dict[str, object]] = None,
+        dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
     ) -> ExperimentResult:
         """Run every scheme on the workload and collect its metrics."""
         metrics: Dict[str, SchemeMetrics] = {}
         for scheme in schemes:
-            metrics[scheme.name] = self.run_single(scheme, rng=rng)
+            metrics[scheme.name] = self.run_single(scheme, rng=rng, dynamics=dynamics)
         return ExperimentResult(
             metrics=metrics,
             workload_count=self.workload.count,
@@ -110,8 +139,15 @@ class ExperimentRunner:
         self,
         scheme: RoutingScheme,
         rng: Optional[np.random.Generator] = None,
+        dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
     ) -> SchemeMetrics:
-        """Run one scheme on the workload from a pristine copy of the topology."""
+        """Run one scheme on the workload from a pristine copy of the topology.
+
+        ``dynamics`` (defaulting to the runner-level list) are injected as
+        engine events: each fires at its ``time``, mutates the live network,
+        and is undone after its ``duration`` -- or at the end of the run, so
+        the next scheme replays the identical (static) starting topology.
+        """
         self._reset_network()
         scheme.prepare(self.network, rng=rng)
         collector = MetricsCollector(scheme.name)
@@ -142,20 +178,95 @@ class ExperimentRunner:
             kind=EventKind.SCHEME_TICK,
             handler=on_tick,
         )
-        engine.run(until=end_time)
-
-        final_report = scheme.finish(end_time)
-        self._consume(final_report, scheme, collector)
+        events = self.dynamics if dynamics is None else list(dynamics)
+        outstanding = self._schedule_dynamics(engine, events)
+        try:
+            engine.run(until=end_time)
+            final_report = scheme.finish(end_time)
+            self._consume(final_report, scheme, collector)
+        finally:
+            # Undo mutations still in effect (newest first) so the snapshot
+            # can be restored for the next scheme.
+            for key in sorted(outstanding, reverse=True):
+                outstanding.pop(key)()
         collector.add_overhead(scheme.overhead_messages())
         return collector.finalize()
+
+    def _schedule_dynamics(
+        self,
+        engine: SimulationEngine,
+        events: Sequence[NetworkDynamicsEvent],
+    ) -> Dict[int, Callable[[], None]]:
+        """Schedule dynamics events plus their timed reverts on the engine.
+
+        Returns the registry of outstanding undo callables; entries are
+        removed as timed reverts fire, and whatever remains at the end of the
+        run must be executed by the caller.
+        """
+        outstanding: Dict[int, Callable[[], None]] = {}
+        keys = itertools.count()
+
+        def on_dynamics(_engine: SimulationEngine, event) -> None:
+            dynamics_event = event.payload
+            undo = dynamics_event.apply(self.network)
+            if undo is None:
+                return
+            key = next(keys)
+            outstanding[key] = undo
+
+            if dynamics_event.duration is None:
+                return
+
+            def on_revert(_e: SimulationEngine, _ev, _key: int = key) -> None:
+                revert = outstanding.pop(_key, None)
+                if revert is not None:
+                    revert()
+
+            _engine.schedule_at(
+                _engine.now + dynamics_event.duration,
+                kind=EventKind.TOPOLOGY_CHANGE,
+                handler=on_revert,
+            )
+
+        for dynamics_event in events:
+            engine.schedule_at(
+                dynamics_event.time,
+                kind=EventKind.TOPOLOGY_CHANGE,
+                payload=dynamics_event,
+                handler=on_dynamics,
+            )
+        return outstanding
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
     def _reset_network(self) -> None:
         self.network.release_all_locks()
+        self._reconcile_topology()
         self.network.restore(self._snapshot)
         self.network.reset_stats()
+
+    def _reconcile_topology(self) -> None:
+        """Force the channel set back to the snapshotted topology.
+
+        The dynamics undo stack restores the topology on its own in every
+        normal run; this is the safety net for pathological event
+        combinations (e.g. a close and an open overlapping on the same node
+        pair, where one undo consumes the other's effect).  Channels the
+        snapshot does not know are removed, channels it knows but the network
+        lost are recreated; ``restore`` then resets every balance.
+        """
+        snapshot_pairs = {frozenset(pair): pair for pair in self._snapshot}
+        for channel in list(self.network.channels()):
+            if frozenset(channel.endpoints) not in snapshot_pairs:
+                self.network.remove_channel(*channel.endpoints)
+        for key, (node_a, node_b) in snapshot_pairs.items():
+            if not self.network.has_channel(node_a, node_b):
+                balances = self._snapshot[(node_a, node_b)]
+                base_fee, fee_rate = self._channel_fees[key]
+                self.network.add_channel(
+                    node_a, node_b, balances[node_a], balances[node_b], base_fee, fee_rate
+                )
 
     def _consume(
         self,
@@ -177,7 +288,10 @@ def compare_schemes(
     step_size: float = 0.1,
     drain_time: float = 5.0,
     parameters: Optional[Dict[str, object]] = None,
+    dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
 ) -> ExperimentResult:
     """One-call convenience wrapper used by the examples and benchmarks."""
-    runner = ExperimentRunner(network, workload, step_size=step_size, drain_time=drain_time)
+    runner = ExperimentRunner(
+        network, workload, step_size=step_size, drain_time=drain_time, dynamics=dynamics
+    )
     return runner.run(schemes, parameters=parameters)

@@ -19,6 +19,7 @@ capacity.  :func:`generate_workload` reproduces those properties with:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
 
@@ -97,9 +98,46 @@ class TransactionWorkload:
         """Number of generated payments."""
         return len(self.requests)
 
+    def _sorted_arrivals(self) -> Tuple[List[float], List[TransactionRequest]]:
+        """Arrival times and requests sorted by time (cached, stable order).
+
+        The cache is invalidated when the request list is replaced or its
+        length changes; in-place replacement of individual entries is not
+        supported.
+        """
+        cached = self.__dict__.get("_arrival_cache")
+        if (
+            cached is not None
+            and cached[0] is self.requests
+            and cached[1] == len(self.requests)
+        ):
+            return cached[2], cached[3]
+        ordered = sorted(
+            range(len(self.requests)), key=lambda i: (self.requests[i].arrival_time, i)
+        )
+        ordered_requests = [self.requests[i] for i in ordered]
+        times = [r.arrival_time for r in ordered_requests]
+        self.__dict__["_arrival_cache"] = (
+            self.requests,
+            len(self.requests),
+            times,
+            ordered_requests,
+        )
+        return times, ordered_requests
+
     def requests_between(self, start: float, end: float) -> List[TransactionRequest]:
-        """Requests with ``start < arrival_time <= end`` (used by the step loop)."""
-        return [r for r in self.requests if start < r.arrival_time <= end]
+        """Requests with ``start < arrival_time <= end``.
+
+        Used by stepped replay harnesses that pull arrivals window by window
+        (the engine-driven runner instead schedules each request as its own
+        event).  One precomputed sorted arrival index plus
+        :func:`bisect.bisect` slicing makes each per-window call
+        O(log n + matches) instead of a full O(n) scan.
+        """
+        times, ordered_requests = self._sorted_arrivals()
+        lo = bisect.bisect_right(times, start)
+        hi = bisect.bisect_right(times, end)
+        return ordered_requests[lo:hi]
 
 
 def _zipf_weights(count: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
@@ -130,10 +168,14 @@ def _find_deadlock_motifs(
             continue
         rng.shuffle(neighbors)
         for i in range(len(neighbors) - 1):
-            a, b = neighbors[i], neighbors[i + 1]
-            if a == b:
+            for j in range(i + 1, len(neighbors)):
+                a, b = neighbors[i], neighbors[j]
+                if a == b or network.has_channel(a, b):
+                    continue  # a triangle is not the figure-1 motif
+                motifs.append((a, relay, b))
+                break
+            else:
                 continue
-            motifs.append((a, relay, b))
             break
         if len(motifs) >= max_motifs:
             break

@@ -209,12 +209,20 @@ class PCNetwork:
         return paths
 
     def path_capacity(self, path: Sequence[NodeId]) -> float:
-        """Bottleneck spendable funds along a directed path."""
+        """Bottleneck spendable funds along a directed path.
+
+        A path with a missing hop (e.g. a channel closed by network dynamics
+        after the path was cached) has capacity 0.0 rather than raising, so
+        routing layers holding stale paths simply skip them.
+        """
         if len(path) < 2:
             return 0.0
-        return min(
-            self.channel(path[i], path[i + 1]).balance(path[i]) for i in range(len(path) - 1)
-        )
+        bottleneck = float("inf")
+        for i in range(len(path) - 1):
+            if not self._graph.has_edge(path[i], path[i + 1]):
+                return 0.0
+            bottleneck = min(bottleneck, self.channel(path[i], path[i + 1]).balance(path[i]))
+        return bottleneck
 
     def subgraph_view(self) -> nx.Graph:
         """A read-only copy of the channel graph topology (no channel objects)."""

@@ -163,6 +163,34 @@ class TestFailures:
         assert router.queued_unit_count() == 0
         assert router.congestion.queued_value("A") == pytest.approx(0.0)
 
+    def test_mid_flight_channel_close_refunds_sender(self, line_network, fast_config):
+        """A channel closing under an in-flight unit aborts it HTLC-style.
+
+        Settlement propagates backward from the receiver, so hops upstream of
+        the break (the sender's included) are released; the sender must not
+        lose funds for a payment that is reported failed.
+        """
+        router = RateRouter(line_network, fast_config)
+        payment = Payment.create("n0", "n4", 1.0, created_at=0.0, timeout=3.0)
+        router.submit(payment, 0.0)
+        now = 0.0
+        for _ in range(20):  # dispatch takes a few steps while budgets accrue
+            now += 0.1
+            router.step(now, 0.1)
+            if router.in_flight_count() == 1:
+                break
+        assert router.in_flight_count() == 1
+
+        line_network.remove_channel("n2", "n3")
+        after = router.step(now + 0.1, 0.1)
+
+        assert after.aborted_units == 1
+        assert payment.is_failed
+        assert payment in after.failed_payments
+        assert router.in_flight_count() == 0
+        assert line_network.available("n0", "n1") == pytest.approx(50.0)
+        assert line_network.available("n1", "n2") == pytest.approx(50.0)
+
     def test_no_negative_balances_ever(self, funded_ws_network, fast_config):
         router = RateRouter(funded_ws_network, fast_config)
         clients = funded_ws_network.clients()
