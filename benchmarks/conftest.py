@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Sequence
 
 import pytest
 
-from repro.analysis.tables import format_table, result_table
 from repro.baselines import (
     A2LScheme,
     FlashScheme,

@@ -10,14 +10,7 @@ Four benchmarks, one per subplot:
 
 import pytest
 
-from .conftest import (
-    SMALL_NODES,
-    all_schemes,
-    run_comparison,
-    save_table,
-    splicer_scheme,
-    sweep_rows,
-)
+from .conftest import SMALL_NODES, run_comparison, save_table, splicer_scheme, sweep_rows
 from repro.analysis.tables import format_table, result_table
 from repro.baselines import A2LScheme, SpiderScheme
 

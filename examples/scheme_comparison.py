@@ -57,7 +57,6 @@ def main() -> None:
     result = runner.run(schemes)
     print(result_table(result))
 
-    splicer = result.scheme("splicer")
     print("\nRelative improvement of Splicer (success ratio / throughput):")
     for name in result.schemes():
         if name == "splicer":

@@ -10,7 +10,7 @@ series or a flat table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.simulator.experiment import ExperimentResult
 

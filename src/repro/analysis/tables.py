@@ -9,7 +9,7 @@ external plotting.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.simulator.experiment import ExperimentResult
 

@@ -21,7 +21,7 @@ model of figure 2(a).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 import numpy as np
 

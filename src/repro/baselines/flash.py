@@ -44,7 +44,7 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
         mouse_path_pool: int = 4,
         timeout: float = 3.0,
         computation: Optional[SourceComputationModel] = None,
-        seed: Optional[int] = None,
+        seed: Optional[int] = 0,
     ) -> None:
         super().__init__()
         if elephant_threshold <= 0:

@@ -12,7 +12,7 @@ models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 NodeId = Hashable
 

@@ -10,7 +10,7 @@ maps to the same pair, and key retrieval requires a quorum of live members.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Set
 
 from repro.crypto.keys import KeyPair, generate_keypair
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional
 
 from repro.core.kmg import KeyManagementGroup
 from repro.crypto.keys import KeyPair, decrypt, encrypt

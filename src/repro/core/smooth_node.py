@@ -11,7 +11,7 @@ synchronization cost pays for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List
 
 from repro.core.client import Client
 from repro.core.kmg import KeyManagementGroup

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import json
 import pickle
 from dataclasses import dataclass
 from typing import Any, Optional

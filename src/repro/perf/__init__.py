@@ -1,0 +1,53 @@
+"""Performance-benchmark subsystem.
+
+``python -m repro perf`` times the three hot layers of the reproduction --
+the per-epoch routing step (prices + rates), a full scenario run, and the
+placement solver -- at three scales, emits a machine-readable
+``BENCH_<rev>.json`` report, and compares it against the committed baseline
+in ``benchmarks/perf_baseline.json`` so that CI can fail on regressions.
+
+Modules:
+
+* :mod:`repro.perf.harness` -- timing loop, machine-speed calibration and
+  the report schema.
+* :mod:`repro.perf.suites` -- the benchmark definitions at the three scales.
+* :mod:`repro.perf.baseline` -- baseline load/compare/update logic and the
+  regression gate used by ``python -m repro perf --check``.
+"""
+
+from repro.perf.baseline import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_TOLERANCE,
+    BaselineComparison,
+    compare_report,
+    filter_entries,
+    load_baseline,
+    update_baseline,
+)
+from repro.perf.harness import (
+    BenchmarkRecord,
+    BenchmarkReport,
+    BenchmarkSpec,
+    calibrate,
+    git_revision,
+    run_specs,
+)
+from repro.perf.suites import SCALES, build_suite
+
+__all__ = [
+    "BenchmarkRecord",
+    "BenchmarkReport",
+    "BenchmarkSpec",
+    "BaselineComparison",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_TOLERANCE",
+    "SCALES",
+    "build_suite",
+    "calibrate",
+    "compare_report",
+    "filter_entries",
+    "git_revision",
+    "load_baseline",
+    "run_specs",
+    "update_baseline",
+]

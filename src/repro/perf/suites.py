@@ -1,0 +1,253 @@
+"""Benchmark suites: routing step, scenario run and placement solver.
+
+Each scale (``small``/``medium``/``large``) defines one suite of three
+benchmark groups:
+
+* ``routing-step`` -- one epoch of Algorithm 2's price/rate update
+  (required-funds report, equations 21-22 over every channel, equation 26
+  over every registered path) plus the per-interval arrival observations,
+  on a synthetic multipath state.  Measured once per backend; the
+  ``python``/``numpy`` pair is what the speedup gate watches.
+* ``scenario-run`` -- a full engine-driven experiment run of the Splicer
+  scheme over a Watts-Strogatz topology (workload replay, dispatch, HTLC
+  locks, metrics).
+* ``placement-solver`` -- the placement facade on the same topology family
+  (exact method at small scale, double-greedy above).
+
+Everything is seeded; two runs on one machine measure the same work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.perf.harness import BenchmarkSpec
+from repro.routing.prices import PriceTable
+from repro.routing.rate_control import PathRateController
+from repro.simulator.experiment import ExperimentRunner
+from repro.simulator.workload import WorkloadConfig, generate_workload
+from repro.topology.network import PCNetwork
+from repro.topology.generators import watts_strogatz_pcn
+
+#: Scale parameters of the three suites.
+SCALES: Dict[str, Dict[str, object]] = {
+    "small": {
+        "pairs": 60,
+        "paths_per_pair": 3,
+        "observe_every": 3,
+        "nodes": 30,
+        "duration": 2.0,
+        "arrival_rate": 10.0,
+        "placement_method": "exact",
+        "candidate_fraction": 0.2,
+    },
+    "medium": {
+        "pairs": 300,
+        "paths_per_pair": 4,
+        "observe_every": 3,
+        "nodes": 60,
+        "duration": 3.0,
+        "arrival_rate": 15.0,
+        "placement_method": "greedy",
+        "candidate_fraction": 0.2,
+    },
+    "large": {
+        "pairs": 1200,
+        "paths_per_pair": 5,
+        "observe_every": 3,
+        "nodes": 100,
+        "duration": 4.0,
+        "arrival_rate": 20.0,
+        "placement_method": "greedy",
+        "candidate_fraction": 0.15,
+    },
+}
+
+
+# ---------------------------------------------------------------------- #
+# routing step
+# ---------------------------------------------------------------------- #
+class _RoutingStepState:
+    """Synthetic hub-relay multipath state driving one epoch update per call.
+
+    ``pairs`` source/target pairs, each with ``paths_per_pair`` disjoint
+    two-hop paths through private relays (the classic multipath motif), with
+    seeded rates, demand caps and a rotating subset of pairs observing
+    transfers each epoch -- the state shape the router maintains mid-run.
+    """
+
+    def __init__(self, pairs: int, paths_per_pair: int, observe_every: int, backend: str) -> None:
+        rng = np.random.default_rng(20230710)
+        network = PCNetwork()
+        self.pairs = []
+        for i in range(pairs):
+            source, target = f"s{i}", f"t{i}"
+            network.add_node(source)
+            network.add_node(target)
+            paths = []
+            for k in range(paths_per_pair):
+                relay = f"r{i}_{k}"
+                network.add_node(relay)
+                near = 50.0 + 100.0 * rng.random()
+                far = 50.0 + 100.0 * rng.random()
+                network.add_channel(source, relay, near, near)
+                network.add_channel(relay, target, far, far)
+                paths.append((source, relay, target))
+            self.pairs.append(((source, target), paths))
+        self.table = PriceTable(network, backend=backend)
+        self.controller = PathRateController(
+            backend=backend, min_rate=0.5, initial_rate=5.0, alpha=1.0
+        )
+        for (source, target), paths in self.pairs:
+            state = self.controller.register_pair(source, target, paths)
+            state.rates = [float(rate) for rate in 10.0 * rng.random(len(paths)) + 1.0]
+            if rng.random() < 0.5:
+                state.demand_rate = float(20.0 * rng.random() + 5.0)
+        self.observe_every = observe_every
+        self.settlement_delay = 0.2
+        self._epoch = 0
+
+    def step(self) -> None:
+        # A rotating third of the pairs carried traffic since the last update.
+        offset = self._epoch % self.observe_every
+        for (_, paths) in self.pairs[offset :: self.observe_every]:
+            for path in paths[:2]:
+                for sender, receiver in zip(path, path[1:]):
+                    self.table.observe_transfer(sender, receiver, 5.0)
+        self.controller.report_required_funds(self.table, self.settlement_delay)
+        self.table.update_all()
+        self.controller.update_rates(self.table)
+        self._epoch += 1
+
+
+def _routing_step_specs(scale: str) -> List[BenchmarkSpec]:
+    params = SCALES[scale]
+    pairs = int(params["pairs"])
+    paths_per_pair = int(params["paths_per_pair"])
+    observe_every = int(params["observe_every"])
+    inner = {"small": 20, "medium": 10, "large": 5}[scale]
+    specs = []
+    for backend in ("python", "numpy"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"routing-step/{scale}/{backend}",
+                group="routing-step",
+                scale=scale,
+                variant=backend,
+                setup=lambda backend=backend: _RoutingStepState(
+                    pairs, paths_per_pair, observe_every, backend
+                ),
+                fn=lambda state: state.step(),
+                inner=inner,
+                meta={"pairs": pairs, "paths_per_pair": paths_per_pair},
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------- #
+# scenario run
+# ---------------------------------------------------------------------- #
+class _ScenarioRunState:
+    """A funded topology plus workload; each call replays the full run."""
+
+    def __init__(self, nodes: int, duration: float, arrival_rate: float) -> None:
+        # Imported lazily: baselines import the simulator package.
+        from repro.baselines.splicer_scheme import SplicerScheme
+
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=4,
+            rewire_probability=0.2,
+            uniform_channel_size=200.0,
+            candidate_fraction=0.2,
+            seed=11,
+        )
+        self.workload = generate_workload(
+            self.network,
+            WorkloadConfig(duration=duration, arrival_rate=arrival_rate, seed=5),
+        )
+        self.runner = ExperimentRunner(self.network, self.workload, step_size=0.1)
+        self._scheme_factory = SplicerScheme
+
+    def step(self) -> None:
+        scheme = self._scheme_factory()
+        self.runner.run_single(scheme, rng=np.random.default_rng(3))
+
+
+def _scenario_run_spec(scale: str) -> BenchmarkSpec:
+    params = SCALES[scale]
+    nodes = int(params["nodes"])
+    duration = float(params["duration"])
+    arrival_rate = float(params["arrival_rate"])
+    return BenchmarkSpec(
+        name=f"scenario-run/{scale}/-",
+        group="scenario-run",
+        scale=scale,
+        variant="-",
+        setup=lambda: _ScenarioRunState(nodes, duration, arrival_rate),
+        fn=lambda state: state.step(),
+        inner=1,
+        meta={"nodes": nodes, "duration": duration, "arrival_rate": arrival_rate},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# placement solver
+# ---------------------------------------------------------------------- #
+class _PlacementState:
+    """A candidate-bearing topology; each call re-solves placement."""
+
+    def __init__(self, nodes: int, candidate_fraction: float, method: str) -> None:
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=4,
+            rewire_probability=0.2,
+            uniform_channel_size=200.0,
+            candidate_fraction=candidate_fraction,
+            seed=13,
+        )
+        self.method = method
+
+    def step(self) -> None:
+        from repro.placement.solver import solve_placement
+
+        solve_placement(self.network, omega=0.05, method=self.method, seed=0)
+
+
+def _placement_spec(scale: str) -> BenchmarkSpec:
+    params = SCALES[scale]
+    nodes = int(params["nodes"])
+    method = str(params["placement_method"])
+    candidate_fraction = float(params["candidate_fraction"])
+    return BenchmarkSpec(
+        name=f"placement-solver/{scale}/-",
+        group="placement-solver",
+        scale=scale,
+        variant="-",
+        setup=lambda: _PlacementState(nodes, candidate_fraction, method),
+        fn=lambda state: state.step(),
+        inner=1,
+        meta={"nodes": nodes, "method": method},
+    )
+
+
+def build_suite(scale: str) -> List[BenchmarkSpec]:
+    """All benchmarks of one scale."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown suite {scale!r}; choose from {sorted(SCALES)}")
+    return [
+        *_routing_step_specs(scale),
+        _scenario_run_spec(scale),
+        _placement_spec(scale),
+    ]
+
+
+def build_suites(scales: List[str]) -> List[BenchmarkSpec]:
+    """Benchmarks of several scales, in the given order."""
+    specs: List[BenchmarkSpec] = []
+    for scale in scales:
+        specs.extend(build_suite(scale))
+    return specs

@@ -8,7 +8,7 @@ that assignment and, for a given placement, the resulting plan and cost.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Sequence
 
 from repro.placement.problem import PlacementPlan, PlacementProblem
 

@@ -16,7 +16,7 @@ cost ``C_B = C_M + omega * C_S`` of equations (3)-(5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
 
 from repro.topology.network import PCNetwork

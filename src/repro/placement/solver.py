@@ -17,9 +17,8 @@ library (and the Splicer system itself) invokes placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Hashable, Optional, Sequence, Set, Tuple, Union
 
-import numpy as np
 
 from repro.placement.assignment import placement_cost, plan_for_placement
 from repro.placement.bruteforce import MAX_BRUTE_FORCE_CANDIDATES, brute_force_placement

@@ -69,7 +69,7 @@ def double_greedy_placement(
     deterministic: bool = False,
     local_search: bool = True,
     rng: Optional[np.random.Generator] = None,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
     element_order: Optional[Sequence[NodeId]] = None,
 ) -> PlacementPlan:
     """Algorithm 1: double-greedy placement approximation.

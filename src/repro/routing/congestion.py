@@ -16,8 +16,8 @@ channel lacks funds), it waits in a queue.  The controller
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.routing.transaction import TransactionUnit
 

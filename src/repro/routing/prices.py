@@ -12,13 +12,26 @@ and exposes the derived per-direction *routing price*
 ``fee_ab = T_fee * xi_ab``.  The routing price of a path is
 ``(1 + T_fee) * sum of xi`` along the path.  Prices are updated every
 ``tau`` seconds from observations accumulated since the previous update.
+
+The table has two interchangeable backends:
+
+* ``backend="python"`` -- one :class:`ChannelPrices` object per channel,
+  updated in a Python loop.  The readable reference implementation.
+* ``backend="numpy"`` -- all price state lives in the parallel arrays of
+  :class:`repro.routing.state.ChannelArrays`, indexed by a stable channel
+  row map, and the per-epoch update plus all per-path reductions run as
+  vectorized kernels (see :mod:`repro.routing.state`).  Equivalent to the
+  scalar backend within floating-point noise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
+from repro.routing.state import ChannelArrays, PathIndex
 from repro.topology.network import PCNetwork
 
 NodeId = Hashable
@@ -28,6 +41,16 @@ ChannelKey = Tuple[NodeId, NodeId]
 DEFAULT_KAPPA = 0.01
 DEFAULT_ETA = 0.01
 DEFAULT_T_FEE = 0.01
+
+#: Backends understood by the price table and the rate controller.
+BACKENDS = ("python", "numpy")
+
+
+def validate_backend(backend: str) -> str:
+    """Normalize and validate a backend name."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
 
 
 def channel_key(node_a: NodeId, node_b: NodeId) -> ChannelKey:
@@ -135,6 +158,111 @@ class ChannelPrices:
             raise KeyError(f"{node!r} is not an endpoint of channel {self.node_a!r}-{self.node_b!r}")
 
 
+class _ArraySideMap:
+    """Dict-like view over one directed quantity of an array-backed channel.
+
+    Presents ``{endpoint: value}`` access (as the scalar
+    :class:`ChannelPrices` dictionaries do) on top of a ``(2, n)`` state
+    array row, so code written against the scalar API keeps working on the
+    vectorized backend.
+    """
+
+    __slots__ = ("_table", "_array_name", "_key", "_row")
+
+    def __init__(self, table: "PriceTable", array_name: str, key: ChannelKey, row: int) -> None:
+        self._table = table
+        self._array_name = array_name
+        self._key = key
+        self._row = row
+
+    def _side(self, node: NodeId) -> int:
+        return self._table._channels.side(self._key, node)
+
+    def __getitem__(self, node: NodeId) -> float:
+        value = float(getattr(self._table._channels, self._array_name)[self._side(node), self._row])
+        if self._array_name == "arrived":
+            value += self._table._pending_arrived.get((self._row, self._side(node)), 0.0)
+        return value
+
+    def __setitem__(self, node: NodeId, value: float) -> None:
+        side = self._side(node)
+        if self._array_name == "arrived":
+            self._table._pending_arrived.pop((self._row, side), None)
+        getattr(self._table._channels, self._array_name)[side, self._row] = float(value)
+        self._table._channels.version += 1
+
+    def get(self, node: NodeId, default: float = 0.0) -> float:
+        try:
+            return self[node]
+        except KeyError:
+            return default
+
+
+class ChannelPricesView:
+    """Scalar-API view of one channel's rows in the array backend.
+
+    Duck-typed like :class:`ChannelPrices`: reads and writes go straight to
+    the shared arrays, so mutating a view (as tests and diagnostics do) is
+    observed by the vectorized kernels and vice versa.
+    """
+
+    __slots__ = ("_table", "_key", "_row")
+
+    def __init__(self, table: "PriceTable", key: ChannelKey, row: int) -> None:
+        self._table = table
+        self._key = key
+        self._row = row
+
+    @property
+    def node_a(self) -> NodeId:
+        return self._key[0]
+
+    @property
+    def node_b(self) -> NodeId:
+        return self._key[1]
+
+    @property
+    def capacity(self) -> float:
+        return float(self._table._channels.capacity[self._row])
+
+    @property
+    def capacity_price(self) -> float:
+        return float(self._table._channels.capacity_price[self._row])
+
+    @capacity_price.setter
+    def capacity_price(self, value: float) -> None:
+        self._table._channels.capacity_price[self._row] = float(value)
+        self._table._channels.version += 1
+
+    @property
+    def imbalance_price(self) -> _ArraySideMap:
+        return _ArraySideMap(self._table, "imbalance", self._key, self._row)
+
+    @property
+    def required_funds(self) -> _ArraySideMap:
+        return _ArraySideMap(self._table, "required", self._key, self._row)
+
+    @property
+    def arrived_value(self) -> _ArraySideMap:
+        return _ArraySideMap(self._table, "arrived", self._key, self._row)
+
+    def observe_arrival(self, sender: NodeId, value: float) -> None:
+        side = self._table._channels.side(self._key, sender)
+        self._table._observe_row(self._row, side, value)
+
+    def set_required_funds(self, node: NodeId, funds: float) -> None:
+        side = self._table._channels.side(self._key, node)
+        self._table._channels.required[side, self._row] = max(funds, 0.0)
+        self._table._channels.version += 1
+
+    def routing_price(self, sender: NodeId) -> float:
+        side = self._table._channels.side(self._key, sender)
+        return self._table._channels.routing_price(self._row, side)
+
+    def forwarding_fee(self, sender: NodeId, t_fee: float) -> float:
+        return max(0.0, t_fee * self.routing_price(sender))
+
+
 class PriceTable:
     """All channel prices of a PCN plus the path-level price queries.
 
@@ -149,6 +277,7 @@ class PriceTable:
         eta: float = DEFAULT_ETA,
         t_fee: float = DEFAULT_T_FEE,
         decay: float = 0.0,
+        backend: str = "python",
     ) -> None:
         if not 0.0 < t_fee < 1.0:
             raise ValueError("T_fee must be in (0, 1)")
@@ -157,20 +286,54 @@ class PriceTable:
         self.eta = float(eta)
         self.t_fee = float(t_fee)
         self.decay = float(decay)
+        self.backend = validate_backend(backend)
         self._prices: Dict[ChannelKey, ChannelPrices] = {}
+        self._channels = ChannelArrays()
+        self._paths = PathIndex(self._channels)
+        self._pending_arrived: Dict[Tuple[int, int], float] = {}
+        self._scalar_version = 0
+        self._path_generation = 0
         for channel in network.channels():
             key = channel_key(channel.node_a, channel.node_b)
-            self._prices[key] = ChannelPrices(key[0], key[1], channel.capacity)
+            if self.backend == "numpy":
+                self._channels.add(key, channel.capacity)
+            else:
+                self._prices[key] = ChannelPrices(key[0], key[1], channel.capacity)
 
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
-    def prices(self, node_a: NodeId, node_b: NodeId) -> ChannelPrices:
+    def _channel_row(self, node_a: NodeId, node_b: NodeId, lenient: bool = False) -> int:
+        """Array row of a channel, registering late-opened channels lazily.
+
+        ``lenient`` resolves a channel that neither has price state nor
+        exists in the network to a zero-capacity placeholder row instead of
+        raising -- used when registering paths, where a cached path may
+        traverse a channel that opened and closed again (network dynamics)
+        before it was ever priced.  The placeholder prices like an overloaded
+        channel, and the dispatch capacity guard keeps units off the path.
+        """
+        key = channel_key(node_a, node_b)
+        row = self._channels.index.get(key)
+        if row is not None:
+            return row
+        if self.network.has_channel(node_a, node_b):
+            return self._channels.add(key, self.network.channel(node_a, node_b).capacity)
+        if lenient:
+            return self._channels.add(key, 0.0)
+        raise KeyError(f"no priced channel between {node_a!r} and {node_b!r}")
+
+    def prices(self, node_a: NodeId, node_b: NodeId):
         """Price state of the channel between two adjacent nodes.
 
         Channels opened after the table was built (network dynamics) get a
-        fresh zero-price entry on first access.
+        fresh zero-price entry on first access.  The scalar backend returns
+        the owning :class:`ChannelPrices`; the numpy backend returns an
+        equivalent :class:`ChannelPricesView` into the shared arrays.
         """
+        if self.backend == "numpy":
+            key = channel_key(node_a, node_b)
+            return ChannelPricesView(self, key, self._channel_row(node_a, node_b))
         key = channel_key(node_a, node_b)
         try:
             return self._prices[key]
@@ -183,40 +346,259 @@ class PriceTable:
 
     def all_prices(self) -> Iterable[ChannelPrices]:
         """Iterate over every channel's price state."""
+        if self.backend == "numpy":
+            return [
+                ChannelPricesView(self, key, row)
+                for row, key in enumerate(self._channels.index.keys())
+            ]
         return self._prices.values()
 
     # ------------------------------------------------------------------ #
     # observations and updates
     # ------------------------------------------------------------------ #
+    def _observe_row(self, row: int, side: int, value: float) -> None:
+        """Accumulate an arrival observation (sparse until the next update)."""
+        key = (row, side)
+        self._pending_arrived[key] = self._pending_arrived.get(key, 0.0) + value
+
     def observe_transfer(self, sender: NodeId, receiver: NodeId, value: float) -> None:
         """Record that ``value`` moved ``sender -> receiver`` this interval."""
+        if self.backend == "numpy":
+            key = channel_key(sender, receiver)
+            row = self._channel_row(sender, receiver)
+            self._observe_row(row, self._channels.side(key, sender), value)
+            return
         self.prices(sender, receiver).observe_arrival(sender, value)
 
-    def set_required_funds(self, sender: NodeId, receiver: NodeId, funds: float) -> None:
-        """Report the funds needed to sustain the sender's rate on a channel."""
-        self.prices(sender, receiver).set_required_funds(sender, funds)
+    def set_required_funds(
+        self, sender: NodeId, receiver: NodeId, funds: float, lenient: bool = False
+    ) -> None:
+        """Report the funds needed to sustain the sender's rate on a channel.
+
+        ``lenient`` resolves a dead channel (no price state, gone from the
+        network) to a zero-capacity placeholder instead of raising -- used
+        by the rate controller, whose registered paths may outlive a
+        channel under network dynamics.
+        """
+        if self.backend == "numpy":
+            key = channel_key(sender, receiver)
+            row = self._channel_row(sender, receiver, lenient=lenient)
+            self._channels.required[self._channels.side(key, sender), row] = max(funds, 0.0)
+            self._channels.version += 1
+            return
+        entry = self._lenient_prices(sender, receiver) if lenient else self.prices(sender, receiver)
+        entry.set_required_funds(sender, funds)
 
     def update_all(self) -> None:
         """Run the per-interval price update (equations 21-22) on every channel."""
+        if self.backend == "numpy":
+            arrived = self._channels.arrived
+            for (row, side), value in self._pending_arrived.items():
+                arrived[side, row] += value
+            self._pending_arrived.clear()
+            self._channels.update_prices(self.kappa, self.eta, self.decay)
+            return
         for prices in self._prices.values():
             prices.update(self.kappa, self.eta, self.decay)
+        self._scalar_version += 1
+
+    @property
+    def price_version(self) -> int:
+        """Counter that advances whenever derived routing prices may change.
+
+        Lets callers cache per-path rankings between price updates.  On the
+        scalar backend it only tracks :meth:`update_all` (direct mutation of
+        a :class:`ChannelPrices` entry is not observable); the numpy backend
+        tracks every mutation that goes through the table or its views.
+        """
+        if self.backend == "numpy":
+            return self._channels.version
+        return self._scalar_version
 
     # ------------------------------------------------------------------ #
     # path-level queries (equation 25)
     # ------------------------------------------------------------------ #
     def channel_price(self, sender: NodeId, receiver: NodeId) -> float:
         """Routing price ``xi`` of one directed channel hop."""
+        if self.backend == "numpy":
+            key = channel_key(sender, receiver)
+            row = self._channel_row(sender, receiver)
+            return self._channels.routing_price(row, self._channels.side(key, sender))
         return self.prices(sender, receiver).routing_price(sender)
 
     def channel_fee(self, sender: NodeId, receiver: NodeId) -> float:
         """Forwarding fee of one directed channel hop."""
-        return self.prices(sender, receiver).forwarding_fee(sender, self.t_fee)
+        return max(0.0, self.t_fee * self.channel_price(sender, receiver))
+
+    def _hop_arrays(
+        self, path: Sequence[NodeId], lenient: bool = False
+    ) -> Tuple[List[int], List[float]]:
+        channel_rows: List[int] = []
+        signs: List[float] = []
+        for sender, receiver in zip(path, path[1:]):
+            key = channel_key(sender, receiver)
+            channel_rows.append(self._channel_row(sender, receiver, lenient=lenient))
+            signs.append(1.0 if self._channels.side(key, sender) == 0 else -1.0)
+        return channel_rows, signs
+
+    def path_row(self, path: Sequence[NodeId], lenient: bool = False) -> int:
+        """Stable row of a path in the table's path index (numpy backend).
+
+        Registers the path (and any late-opened channels along it) on first
+        sight; rows stay valid until :meth:`prune_paths` replaces the index
+        (signalled by :attr:`path_generation`), so callers caching rows must
+        key their caches on the generation.  ``lenient`` resolves dead hops
+        to zero-capacity placeholder rows (see :meth:`_channel_row`); the
+        strict default raises KeyError for them, matching the scalar
+        backend's single-path queries.
+        """
+        row = self._paths.get(path)
+        if row is not None:
+            return row
+        channel_rows, signs = self._hop_arrays(path, lenient=lenient)
+        return self._paths.add_path(path, channel_rows, signs)
+
+    @property
+    def path_generation(self) -> int:
+        """Increments whenever cached path rows are invalidated by a prune."""
+        return self._path_generation
+
+    def registered_path_count(self) -> int:
+        """Number of paths currently registered in the path index."""
+        return len(self._paths)
+
+    def prune_paths(self, active_paths: Iterable[Sequence[NodeId]]) -> None:
+        """Rebuild the path index around the currently active paths.
+
+        Rows are never recycled within one index, so long dynamic runs --
+        churn and jamming keep retiring path sets -- would otherwise grow
+        the CSR arrays (and every whole-table reduction over them) without
+        bound.  Pruning drops retired paths; per-path prices are derived
+        state, so nothing is lost.  Bumps :attr:`path_generation` so row
+        caches (the rate controller's flattened view) rebuild lazily.
+        """
+        rebuilt = PathIndex(self._channels)
+        for path in active_paths:
+            if rebuilt.get(path) is None:
+                channel_rows, signs = self._hop_arrays(path, lenient=True)
+                rebuilt.add_path(path, channel_rows, signs)
+        self._paths = rebuilt
+        self._path_generation += 1
+
+    def path_rows(self, paths: Sequence[Sequence[NodeId]]) -> np.ndarray:
+        """Stable rows for many paths at once (lenient towards dead hops)."""
+        return np.asarray(
+            [self.path_row(path, lenient=True) for path in paths], dtype=np.intp
+        )
 
     def path_price(self, path: Sequence[NodeId]) -> float:
         """Total routing price ``rho_p = (1 + T_fee) * sum xi`` along a path."""
+        if self.backend == "numpy":
+            row = self.path_row(path)
+            return float(self._paths.path_prices(self.t_fee)[row])
         total = sum(self.channel_price(a, b) for a, b in zip(path, path[1:]))
         return (1.0 + self.t_fee) * total
+
+    def path_prices(self, paths: Sequence[Sequence[NodeId]]) -> np.ndarray:
+        """Routing prices of many paths at once (vectorized on numpy backend).
+
+        Unlike the strict single-path :meth:`path_price`, the batch API is
+        lenient: a hop whose channel opened and closed again before it was
+        ever priced resolves to a zero-capacity placeholder on both backends
+        (on the numpy side via the lenient row registration in
+        :meth:`path_row`) instead of raising, because batch queries come
+        from epoch updates and dispatch over cached paths that network
+        dynamics may have invalidated mid-run.
+        """
+        if self.backend == "numpy":
+            rows = self.path_rows(paths)
+            return self._paths.path_prices(self.t_fee)[rows]
+        return np.asarray(
+            [
+                (1.0 + self.t_fee)
+                * sum(
+                    self._lenient_prices(a, b).routing_price(a)
+                    for a, b in zip(path, path[1:])
+                )
+                for path in paths
+            ]
+        )
+
+    def path_prices_by_row(self, rows: np.ndarray) -> np.ndarray:
+        """Routing prices of already-registered path rows (numpy backend)."""
+        return self._paths.path_prices(self.t_fee)[np.asarray(rows, dtype=np.intp)]
 
     def path_fee(self, path: Sequence[NodeId]) -> float:
         """Total forwarding fees the sender pays along a path."""
         return sum(self.channel_fee(a, b) for a, b in zip(path, path[1:]))
+
+    def _lenient_prices(self, node_a: NodeId, node_b: NodeId) -> ChannelPrices:
+        """Scalar-backend entry for a channel, placeholder-creating like the
+        lenient array rows: a channel with neither price state nor a live
+        network channel resolves to a zero-capacity entry (prices like an
+        overloaded channel; the dispatch capacity guard keeps units off it),
+        so both backends give a dead path identical economics."""
+        try:
+            return self.prices(node_a, node_b)
+        except KeyError:
+            key = channel_key(node_a, node_b)
+            entry = ChannelPrices(key[0], key[1], 0.0)
+            self._prices[key] = entry
+            return entry
+
+    # ------------------------------------------------------------------ #
+    # balance constraint (equation 19)
+    # ------------------------------------------------------------------ #
+    def path_max_imbalance_gap(self, path: Sequence[NodeId]) -> float:
+        """Largest ``mu_sender - mu_receiver`` over the path's hops."""
+        if self.backend == "numpy":
+            row = self.path_row(path)
+            return float(self._paths.max_imbalance_gaps()[row])
+        worst = float("-inf")
+        for sender, receiver in zip(path, path[1:]):
+            prices = self.prices(sender, receiver)
+            gap = prices.imbalance_price[sender] - prices.imbalance_price[receiver]
+            if gap > worst:
+                worst = gap
+        return worst
+
+    def paths_blocked(self, paths: Sequence[Sequence[NodeId]], max_gap: float) -> np.ndarray:
+        """Boolean mask of paths whose worst hop violates the balance bound.
+
+        Lenient towards dead hops, like :meth:`path_prices`.
+        """
+        if self.backend == "numpy":
+            rows = self.path_rows(paths)
+            return self._paths.max_imbalance_gaps()[rows] > max_gap
+        blocked = []
+        for path in paths:
+            worst = float("-inf")
+            for sender, receiver in zip(path, path[1:]):
+                entry = self._lenient_prices(sender, receiver)
+                gap = entry.imbalance_price[sender] - entry.imbalance_price[receiver]
+                if gap > worst:
+                    worst = gap
+            blocked.append(worst > max_gap)
+        return np.asarray(blocked)
+
+    # ------------------------------------------------------------------ #
+    # batched required-funds reporting (section IV-D)
+    # ------------------------------------------------------------------ #
+    def set_required_funds_for_paths(
+        self,
+        rows: np.ndarray,
+        weights: np.ndarray,
+        hops=None,
+    ) -> None:
+        """Overwrite required funds from per-path ``rate * delay`` weights.
+
+        Numpy backend only; the scalar backend receives per-channel totals
+        through :meth:`set_required_funds` instead.  ``hops`` may carry a
+        cached ``gather_hops(rows)`` result (the hop structure only changes
+        when the registered path set changes).
+        """
+        self._paths.aggregate_required_funds(rows, weights, hops)
+
+    def gather_hops(self, rows: np.ndarray):
+        """Hop structure of registered path rows (see ``PathIndex.gather_hops``)."""
+        return self._paths.gather_hops(rows)

@@ -7,14 +7,23 @@ utility of the pair's total rate (so ``U'(r) = 1 / sum_p r_p``) and
 ``rho_p`` is the path routing price from the :class:`~repro.routing.prices.PriceTable`.
 Rates are kept non-negative and, when a demand estimate is known, scaled so
 the demand constraint (17) is respected.
+
+With ``backend="numpy"`` (and a numpy-backed price table) the per-epoch
+gradient step and the required-funds report run as array kernels over a
+flattened view of every registered pair's paths, indexed by the price
+table's stable path rows; the scalar loops below remain the reference
+implementation and the two backends agree within floating-point noise.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.routing.prices import PriceTable
+import numpy as np
+
+from repro.routing.prices import PriceTable, validate_backend
 
 NodeId = Hashable
 Pair = Tuple[NodeId, NodeId]
@@ -58,6 +67,29 @@ class PairRateState:
             return 0.0
 
 
+@dataclass
+class _FlatPaths:
+    """Flattened view of every registered pair's paths for the array kernels.
+
+    Rebuilt only when the registered path set changes; the per-epoch kernels
+    gather rates and demand fresh on every call, so direct mutation of
+    ``PairRateState.rates`` (tests, the router's boost logic) stays visible.
+    """
+
+    table: object
+    version: int
+    table_generation: int
+    states: List["PairRateState"]
+    rows: np.ndarray
+    lengths: np.ndarray
+    ptr: np.ndarray
+    hops: Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+    @property
+    def path_count(self) -> int:
+        return int(self.rows.shape[0])
+
+
 class PathRateController:
     """Maintains and updates the per-path rates of every active pair."""
 
@@ -67,6 +99,7 @@ class PathRateController:
         min_rate: float = DEFAULT_MIN_RATE,
         initial_rate: float = DEFAULT_INITIAL_RATE,
         max_rate: Optional[float] = None,
+        backend: str = "python",
     ) -> None:
         if alpha <= 0:
             raise ValueError("alpha must be positive")
@@ -76,7 +109,10 @@ class PathRateController:
         self.min_rate = float(min_rate)
         self.initial_rate = float(initial_rate)
         self.max_rate = max_rate
+        self.backend = validate_backend(backend)
         self._pairs: Dict[Pair, PairRateState] = {}
+        self._version = 0
+        self._flat_cache: Optional[_FlatPaths] = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -93,9 +129,12 @@ class PathRateController:
         if state is None:
             state = PairRateState(source, target)
             self._pairs[key] = state
+        if normalized == state.paths:
+            return state
         old_rates = dict(zip(state.paths, state.rates))
         state.paths = normalized
         state.rates = [old_rates.get(path, self.initial_rate) for path in normalized]
+        self._version += 1
         return state
 
     def pair_state(self, source: NodeId, target: NodeId) -> Optional[PairRateState]:
@@ -114,21 +153,77 @@ class PathRateController:
 
     def drop_pair(self, source: NodeId, target: NodeId) -> None:
         """Forget a pair (e.g. when it has no outstanding demand left)."""
-        self._pairs.pop((source, target), None)
+        if self._pairs.pop((source, target), None) is not None:
+            self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # flattened view for the array kernels
+    # ------------------------------------------------------------------ #
+    def _flat(self, price_table: PriceTable) -> _FlatPaths:
+        """The flattened path view against one price table (cached)."""
+        generation = price_table.path_generation
+        cache = self._flat_cache
+        if (
+            cache is not None
+            and cache.table is price_table
+            and cache.version == self._version
+            and cache.table_generation == generation
+        ):
+            return cache
+        states = [state for state in self._pairs.values() if state.paths]
+        rows = np.asarray(
+            [
+                price_table.path_row(path, lenient=True)
+                for state in states
+                for path in state.paths
+            ],
+            dtype=np.intp,
+        )
+        lengths = np.asarray([len(state.paths) for state in states], dtype=np.intp)
+        ptr = np.concatenate([np.zeros(1, dtype=np.intp), np.cumsum(lengths, dtype=np.intp)])
+        cache = _FlatPaths(
+            table=price_table,
+            version=self._version,
+            table_generation=price_table.path_generation,
+            states=states,
+            rows=rows,
+            lengths=lengths,
+            ptr=ptr,
+            hops=price_table.gather_hops(rows),
+        )
+        self._flat_cache = cache
+        return cache
+
+    def _use_arrays(self, price_table: PriceTable) -> bool:
+        return self.backend == "numpy" and getattr(price_table, "backend", "python") == "numpy"
+
+    def _gather_rates(self, flat: _FlatPaths) -> np.ndarray:
+        return np.fromiter(
+            itertools.chain.from_iterable(state.rates for state in flat.states),
+            dtype=float,
+            count=flat.path_count,
+        )
 
     # ------------------------------------------------------------------ #
     # rate updates (equation 26)
     # ------------------------------------------------------------------ #
     def update_rates(self, price_table: PriceTable) -> None:
         """One gradient step on every registered pair."""
+        if self._use_arrays(price_table):
+            self._update_rates_vectorized(price_table)
+            return
         for state in self._pairs.values():
             if not state.paths:
                 continue
             total = max(state.total_rate, self.min_rate if self.min_rate > 0 else 1e-6)
             marginal_utility = 1.0 / total
             new_rates = []
-            for path, rate in zip(state.paths, state.rates):
-                price = price_table.path_price(path)
+            # The lenient batch API gives a dead path (channel retired by
+            # dynamics before it was ever priced) the same zero-capacity
+            # placeholder economics on both backends.
+            prices = price_table.path_prices(state.paths)
+            for path, rate, price in zip(state.paths, state.rates, prices):
+                price = float(price)
                 updated = rate + self.alpha * (marginal_utility - price)
                 updated = max(updated, self.min_rate)
                 if self.max_rate is not None:
@@ -136,6 +231,42 @@ class PathRateController:
                 new_rates.append(updated)
             state.rates = new_rates
             self._enforce_demand(state)
+
+    def _update_rates_vectorized(self, price_table: PriceTable) -> None:
+        """Equation (26) plus the demand cap (17) as one array kernel.
+
+        Mirrors the scalar loop operation by operation: marginal utility from
+        the pair totals, gradient step against the path routing prices,
+        clipping to ``[min_rate, max_rate]``, then the per-pair demand
+        rescaling.
+        """
+        flat = self._flat(price_table)
+        if not flat.states:
+            return
+        rates = self._gather_rates(flat)
+        prices = price_table.path_prices_by_row(flat.rows)
+        floor = self.min_rate if self.min_rate > 0 else 1e-6
+        totals = np.maximum(np.add.reduceat(rates, flat.ptr[:-1]), floor)
+        marginal = np.repeat(1.0 / totals, flat.lengths)
+        updated = np.maximum(rates + self.alpha * (marginal - prices), self.min_rate)
+        if self.max_rate is not None:
+            updated = np.minimum(updated, self.max_rate)
+        demand = np.fromiter(
+            (
+                state.demand_rate if state.demand_rate is not None else np.inf
+                for state in flat.states
+            ),
+            dtype=float,
+            count=len(flat.states),
+        )
+        new_totals = np.add.reduceat(updated, flat.ptr[:-1])
+        capped = (new_totals > demand) & (new_totals > 0)
+        if capped.any():
+            scale = np.ones(len(flat.states))
+            scale[capped] = demand[capped] / new_totals[capped]
+            updated = updated * np.repeat(scale, flat.lengths)
+        for state, start, end in zip(flat.states, flat.ptr[:-1], flat.ptr[1:]):
+            state.rates = updated[start:end].tolist()
 
     def _enforce_demand(self, state: PairRateState) -> None:
         """Scale rates down so the pair's total rate respects its demand cap."""
@@ -189,6 +320,13 @@ class PathRateController:
         of ``rate * settlement_delay`` over every registered path that uses
         the channel in that direction (section IV-D).
         """
+        if self._use_arrays(price_table):
+            flat = self._flat(price_table)
+            if not flat.states:
+                return
+            weights = self._gather_rates(flat) * settlement_delay
+            price_table.set_required_funds_for_paths(flat.rows, weights, hops=flat.hops)
+            return
         required: Dict[Tuple[NodeId, NodeId], float] = {}
         for state in self._pairs.values():
             for path, rate in zip(state.paths, state.rates):
@@ -196,7 +334,10 @@ class PathRateController:
                     key = (sender, receiver)
                     required[key] = required.get(key, 0.0) + rate * settlement_delay
         for (sender, receiver), funds in required.items():
-            price_table.set_required_funds(sender, receiver, funds)
+            # Lenient: a registered path can traverse a channel that dynamics
+            # retired before it was ever priced; the placeholder entry keeps
+            # both backends' dead-path economics identical.
+            price_table.set_required_funds(sender, receiver, funds, lenient=True)
 
     # ------------------------------------------------------------------ #
     # allocation helpers used by the router

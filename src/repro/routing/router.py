@@ -26,14 +26,16 @@ is equivalent under the paper's bounded-synchronous communication model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.routing.congestion import CongestionController, QueuedUnit
 from repro.routing.paths import get_path_selector
-from repro.routing.prices import PriceTable
+from repro.routing.prices import PriceTable, validate_backend
 from repro.routing.rate_control import PathRateController
 from repro.routing.scheduling import get_scheduler
-from repro.routing.transaction import Payment, PaymentStatus, TransactionUnit
+from repro.routing.transaction import Payment, TransactionUnit
 from repro.topology.channel import ChannelError, InsufficientFundsError
 from repro.topology.network import PCNetwork
 
@@ -83,6 +85,10 @@ class RouterConfig:
         congestion_control_enabled: Disable to ablate windows/queue marking.
         imbalance_pricing_enabled: Disable to ablate the imbalance price
             (the deadlock-avoidance mechanism).
+        backend: ``"numpy"`` (default) runs the per-epoch price/rate updates
+            and the per-path dispatch queries as vectorized array kernels;
+            ``"python"`` keeps the scalar reference implementation.  Both
+            produce the same numbers within floating-point noise.
     """
 
     path_type: str = "edw"
@@ -109,6 +115,7 @@ class RouterConfig:
     rate_control_enabled: bool = True
     congestion_control_enabled: bool = True
     imbalance_pricing_enabled: bool = True
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.path_count < 1:
@@ -117,6 +124,7 @@ class RouterConfig:
             raise ValueError("update_interval must be positive")
         if not 0 < self.t_fee < 1:
             raise ValueError("t_fee must be in (0, 1)")
+        validate_backend(self.backend)
 
 
 @dataclass
@@ -161,7 +169,12 @@ class RateRouter:
         self.config = config or RouterConfig()
         cfg = self.config
         self.price_table = PriceTable(
-            network, kappa=cfg.kappa, eta=cfg.eta, t_fee=cfg.t_fee, decay=cfg.price_decay
+            network,
+            kappa=cfg.kappa,
+            eta=cfg.eta,
+            t_fee=cfg.t_fee,
+            decay=cfg.price_decay,
+            backend=cfg.backend,
         )
         if not cfg.imbalance_pricing_enabled:
             self.price_table.eta = 0.0
@@ -169,6 +182,7 @@ class RateRouter:
             alpha=cfg.alpha,
             min_rate=cfg.min_rate,
             initial_rate=cfg.initial_rate,
+            backend=cfg.backend,
         )
         self.congestion = CongestionController(
             queue_limit=cfg.queue_limit,
@@ -183,6 +197,7 @@ class RateRouter:
         self._in_flight: List[_InFlightUnit] = []
         self._payments: Dict[int, Payment] = {}
         self._path_cache: Dict[Pair, Tuple[List[Path], float]] = {}
+        self._ranked_cache: Dict[Pair, Tuple[int, List[Path], List[Tuple[float, Path]]]] = {}
         self._next_price_update = cfg.update_interval
         self.total_fees_paid = 0.0
         self.total_units_delivered = 0
@@ -248,11 +263,15 @@ class RateRouter:
             paths, _ = self._path_cache.get(pair, ([], 0.0))
             # Each path's boost ceiling is its capacity-derived rate bound
             # (equation 18) discounted by the current routing price, so a
-            # congested or imbalanced path does not get re-inflated.
+            # congested or imbalanced path does not get re-inflated.  The
+            # batch price query is lenient: a path whose channel was retired
+            # by dynamics gets placeholder prices, and its zero live
+            # capacity makes its cap (and thus its boost) zero.
+            path_prices = self.price_table.path_prices(paths) if paths else []
             per_path_caps = {
                 path: (self.network.path_capacity(path) / delay)
-                / (1.0 + max(self.price_table.path_price(path), 0.0))
-                for path in paths
+                / (1.0 + max(float(price), 0.0))
+                for path, price in zip(paths, path_prices)
             }
             self.rate_controller.boost_rates(pair[0], pair[1], target_rate, per_path_caps)
         else:
@@ -350,6 +369,25 @@ class RateRouter:
                 for pair in list(self._queues):
                     self._refresh_demand_rate(pair, now)
             self._next_price_update += cfg.update_interval
+        self._maybe_prune_paths()
+
+    def _maybe_prune_paths(self) -> None:
+        """Bound the price table's path index on long dynamic runs.
+
+        Topology churn keeps retiring path sets; their rows would otherwise
+        accumulate in the table's path index forever and every whole-table
+        price reduction would slow down monotonically.  Once retired rows
+        outnumber the active ones several times over, rebuild the index
+        around the paths currently cached for live pairs.
+        """
+        if self.config.backend != "numpy":
+            return
+        active_count = sum(len(paths) for paths, _ in self._path_cache.values())
+        if self.price_table.registered_path_count() <= max(512, 4 * active_count):
+            return
+        self.price_table.prune_paths(
+            path for paths, _ in self._path_cache.values() for path in paths
+        )
 
     def _accrue_budgets(self, dt: float) -> None:
         cfg = self.config
@@ -380,9 +418,7 @@ class RateRouter:
         order = self._schedule([queued.unit for _, queued in all_queued])
         by_unit_id = {queued.unit.unit_id: (pair, queued) for pair, queued in all_queued}
         if cfg.congestion_control_enabled:
-            for _, queued in all_queued:
-                if not queued.unit.marked and self.congestion.should_mark(queued, now):
-                    queued.unit.marked = True
+            self.congestion.mark_overdue((queued for _, queued in all_queued), now)
         for unit in order:
             pair, queued = by_unit_id[unit.unit_id]
             payment = self._payments.get(unit.payment_id)
@@ -402,8 +438,9 @@ class RateRouter:
     def _choose_path(self, pair: Pair, unit: TransactionUnit, now: float) -> Optional[Path]:
         cfg = self.config
         paths = self._paths_for(pair, now)
-        feasible: List[Tuple[float, Path]] = []
-        for path in paths:
+        if not paths:
+            return None
+        for _, path in self._ranked_paths(pair, paths):
             budget = self._budgets.get((pair, path), 0.0)
             if budget < unit.value:
                 continue
@@ -411,28 +448,54 @@ class RateRouter:
                 continue
             if self.network.path_capacity(path) < unit.value:
                 continue
-            if cfg.imbalance_pricing_enabled and self._violates_balance(path):
-                continue
-            feasible.append((self.price_table.path_price(path), path))
-        if not feasible:
-            return None
-        feasible.sort(key=lambda item: item[0])
-        return feasible[0][1]
+            return path
+        return None
 
-    def _violates_balance(self, path: Path) -> bool:
-        """Balance constraint (equation 19): block directions that drained too far.
+    def _ranked_paths(self, pair: Pair, paths: List[Path]) -> List[Tuple[float, Path]]:
+        """The pair's candidate paths, price-sorted with blocked paths dropped.
 
-        A hop is unusable while its imbalance price exceeds the reverse
-        direction's price by more than ``max_imbalance_gap``; the hop becomes
-        usable again once reverse flow (or the price decay) restores balance.
+        Routing prices and the balance constraint (equation 19) only change
+        when prices change, so the ranking is computed once per
+        (path refresh, price update) and every queued unit of the pair then
+        walks the short pre-sorted list checking only its per-unit conditions
+        (budget, window, live capacity).  Blocked paths -- those whose worst
+        hop's imbalance-price gap exceeds ``max_imbalance_gap`` -- are
+        excluded up front; they become usable again once reverse flow (or
+        the price decay) restores balance.
+
+        Only the numpy backend caches the ranking: its ``price_version``
+        tracks every price mutation, including direct writes through views.
+        The scalar reference backend re-ranks on every unit (as it did
+        before vectorization), so externally mutated ``ChannelPrices``
+        entries -- something tests and diagnostics do -- take effect
+        immediately.
         """
-        gap = self.config.max_imbalance_gap
-        for sender, receiver in zip(path, path[1:]):
-            prices = self.price_table.prices(sender, receiver)
-            difference = prices.imbalance_price[sender] - prices.imbalance_price[receiver]
-            if difference > gap:
-                return True
-        return False
+        caching = self.config.backend == "numpy"
+        version = self.price_table.price_version
+        if caching:
+            cached = self._ranked_cache.get(pair)
+            if cached is not None and cached[0] == version and cached[1] is paths:
+                return cached[2]
+        # Batch queries are lenient towards paths whose channels dynamics
+        # retired before they were ever priced: such a path prices against a
+        # zero-capacity placeholder and the per-unit capacity guard in
+        # _choose_path keeps units off it.
+        prices = self.price_table.path_prices(paths)
+        if self.config.imbalance_pricing_enabled:
+            blocked = self.price_table.paths_blocked(paths, self.config.max_imbalance_gap)
+        else:
+            blocked = np.zeros(len(paths), dtype=bool)
+        ranked = sorted(
+            (
+                (float(price), path)
+                for price, path, is_blocked in zip(prices, paths, blocked)
+                if not is_blocked
+            ),
+            key=lambda item: item[0],
+        )
+        if caching:
+            self._ranked_cache[pair] = (version, paths, ranked)
+        return ranked
 
     def _launch_unit(
         self,

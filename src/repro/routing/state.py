@@ -1,0 +1,340 @@
+"""Stable index maps and array state for the vectorized routing backend.
+
+The per-epoch price and rate updates of Algorithm 2 (equations 17-28) touch
+every channel and every registered path once per update interval.  The
+scalar implementation walks Python objects hop by hop; at production scale
+that loop dominates the simulation.  This module provides the shared
+building blocks of the ``backend="numpy"`` fast path:
+
+* :class:`IndexMap` -- a stable key -> dense-row mapping.  Rows are assigned
+  once and never reused or reordered, so array state indexed by a row stays
+  valid as channels and paths come and go.
+* :class:`ChannelArrays` -- the per-channel price state (capacity price,
+  per-direction imbalance prices, required funds and arrived value) held in
+  parallel NumPy arrays, with the equation (21)-(22) update as one
+  vectorized kernel.
+* :class:`PathIndex` -- a stable path -> row mapping plus a CSR flattening
+  of every path's directed hops, enabling whole-table path-price evaluation
+  (equation 25), per-path imbalance-gap maxima (the balance constraint of
+  equation 19) and directed required-funds aggregation (section IV-D) as
+  array reductions.
+
+The scalar ``backend="python"`` implementations in
+:mod:`repro.routing.prices` and :mod:`repro.routing.rate_control` remain the
+readable reference; the equivalence test suite pins both backends to the
+same numbers within 1e-9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+NodeId = Hashable
+ChannelKey = Tuple[NodeId, NodeId]
+Path = Tuple[NodeId, ...]
+
+#: Initial allocation for growable arrays.
+_MIN_ALLOC = 64
+
+
+class IndexMap:
+    """A stable mapping from hashable keys to dense array rows.
+
+    Rows are handed out in insertion order and never recycled: dropping a
+    key is not supported, which is what makes rows safe to cache in CSR
+    structures and parallel arrays.
+    """
+
+    __slots__ = ("_rows", "_keys")
+
+    def __init__(self) -> None:
+        self._rows: Dict[Hashable, int] = {}
+        self._keys: List[Hashable] = []
+
+    def add(self, key: Hashable) -> int:
+        """Row of ``key``, allocating the next dense row on first sight."""
+        row = self._rows.get(key)
+        if row is None:
+            row = len(self._keys)
+            self._rows[key] = row
+            self._keys.append(key)
+        return row
+
+    def row(self, key: Hashable) -> int:
+        """Row of a known key (KeyError when the key was never added)."""
+        return self._rows[key]
+
+    def get(self, key: Hashable) -> Optional[int]:
+        """Row of a key, or ``None`` when it was never added."""
+        return self._rows.get(key)
+
+    def key(self, row: int) -> Hashable:
+        """Key stored at a row."""
+        return self._keys[row]
+
+    def keys(self) -> List[Hashable]:
+        """All keys in row order."""
+        return list(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._keys)
+
+
+def _grow(array: np.ndarray, size: int) -> np.ndarray:
+    """Return ``array`` grown (amortized doubling) to hold ``size`` rows."""
+    if size <= array.shape[0]:
+        return array
+    new_size = max(_MIN_ALLOC, array.shape[0])
+    while new_size < size:
+        new_size *= 2
+    grown = np.zeros(new_size, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
+class ChannelArrays:
+    """Per-channel price state in parallel arrays, one row per channel.
+
+    Side 0 is the canonically-first endpoint of the channel key, side 1 the
+    second; directed quantities (imbalance price, required funds, arrived
+    value) are stored as one array per side.  ``version`` increments on
+    every mutation that can change a derived routing price, so dependent
+    caches (the whole-table path-price vector) know when to recompute.
+    """
+
+    def __init__(self) -> None:
+        self.index = IndexMap()
+        self.capacity = np.zeros(_MIN_ALLOC)
+        self.capacity_price = np.zeros(_MIN_ALLOC)
+        self.imbalance = np.zeros((2, _MIN_ALLOC))
+        self.required = np.zeros((2, _MIN_ALLOC))
+        self.arrived = np.zeros((2, _MIN_ALLOC))
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def add(self, key: ChannelKey, capacity: float) -> int:
+        """Row for a channel, creating zero-price state on first sight."""
+        existing = self.index.get(key)
+        if existing is not None:
+            return existing
+        row = self.index.add(key)
+        if row >= self.capacity.shape[0]:
+            size = row + 1
+            self.capacity = _grow(self.capacity, size)
+            self.capacity_price = _grow(self.capacity_price, size)
+            self.imbalance = np.vstack([_grow(self.imbalance[0], size), _grow(self.imbalance[1], size)])
+            self.required = np.vstack([_grow(self.required[0], size), _grow(self.required[1], size)])
+            self.arrived = np.vstack([_grow(self.arrived[0], size), _grow(self.arrived[1], size)])
+        self.capacity[row] = float(capacity)
+        return row
+
+    def side(self, key: ChannelKey, node: NodeId) -> int:
+        """0 when ``node`` is the canonical first endpoint, 1 otherwise."""
+        if node == key[0]:
+            return 0
+        if node == key[1]:
+            return 1
+        raise KeyError(f"{node!r} is not an endpoint of channel {key[0]!r}-{key[1]!r}")
+
+    # ------------------------------------------------------------------ #
+    # vectorized price update (equations 21-22)
+    # ------------------------------------------------------------------ #
+    def update_prices(self, kappa: float, eta: float, decay: float = 0.0) -> None:
+        """One price-update step over every channel, then reset observations.
+
+        The expressions mirror :meth:`repro.routing.prices.ChannelPrices.update`
+        term by term (same operand order) so the two backends agree to
+        floating-point noise.
+        """
+        n = len(self.index)
+        if n == 0:
+            return
+        capacity = self.capacity[:n]
+        scale = np.maximum(capacity, 1e-9)
+        total_required = self.required[0, :n] + self.required[1, :n]
+        np.maximum(
+            0.0,
+            self.capacity_price[:n] + kappa * (total_required - capacity) / scale,
+            out=self.capacity_price[:n],
+        )
+        delta = eta * (self.arrived[0, :n] - self.arrived[1, :n]) / scale
+        np.maximum(0.0, self.imbalance[0, :n] + delta, out=self.imbalance[0, :n])
+        np.maximum(0.0, self.imbalance[1, :n] - delta, out=self.imbalance[1, :n])
+        if decay > 0.0:
+            keep = max(0.0, 1.0 - decay)
+            self.capacity_price[:n] *= keep
+            self.imbalance[:, :n] *= keep
+        self.arrived[:, :n] = 0.0
+        self.version += 1
+
+    # ------------------------------------------------------------------ #
+    # scalar views used by accessors and per-unit queries
+    # ------------------------------------------------------------------ #
+    def routing_price(self, row: int, side: int) -> float:
+        """``xi`` of one directed hop: ``2 lambda + mu_sender - mu_receiver``."""
+        return float(
+            2.0 * self.capacity_price[row]
+            + self.imbalance[side, row]
+            - self.imbalance[1 - side, row]
+        )
+
+
+class PathIndex:
+    """Stable path -> row mapping plus a CSR flattening of directed hops.
+
+    For every registered path the index records, per hop, the channel row in
+    a :class:`ChannelArrays` and the hop sign (+1 when the hop sender is the
+    channel's canonical first endpoint, -1 otherwise).  All per-path
+    reductions -- routing prices, imbalance-gap maxima, required-funds
+    aggregation -- then run as NumPy segment operations over the flattened
+    arrays instead of per-hop Python loops.
+    """
+
+    def __init__(self, channels: ChannelArrays) -> None:
+        self.channels = channels
+        self.index = IndexMap()
+        self._hop_channel: List[int] = []
+        self._hop_sign: List[float] = []
+        self._ptr: List[int] = [0]
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._price_cache: Optional[Tuple[int, int, float, np.ndarray]] = None
+        self._gap_cache: Optional[Tuple[int, int, np.ndarray]] = None
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_path(self, path: Sequence[NodeId], channel_rows: Sequence[int], signs: Sequence[float]) -> int:
+        """Register a path given its per-hop channel rows and signs."""
+        key = tuple(path)
+        existing = self.index.get(key)
+        if existing is not None:
+            return existing
+        if len(key) < 2:
+            raise ValueError("a path needs at least one hop")
+        if len(channel_rows) != len(key) - 1 or len(signs) != len(channel_rows):
+            raise ValueError("hop arrays must cover every hop of the path")
+        row = self.index.add(key)
+        self._hop_channel.extend(int(c) for c in channel_rows)
+        self._hop_sign.extend(float(s) for s in signs)
+        self._ptr.append(len(self._hop_channel))
+        self._csr_cache = None
+        self._price_cache = None
+        self._gap_cache = None
+        return row
+
+    def get(self, path: Sequence[NodeId]) -> Optional[int]:
+        """Row of a path, or ``None`` when it was never registered."""
+        return self.index.get(tuple(path))
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The flattened hop structure ``(hop_channel, hop_sign, ptr)``."""
+        if self._csr_cache is None:
+            self._csr_cache = (
+                np.asarray(self._hop_channel, dtype=np.intp),
+                np.asarray(self._hop_sign, dtype=float),
+                np.asarray(self._ptr, dtype=np.intp),
+            )
+        return self._csr_cache
+
+    def gather_hops(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Hop arrays restricted to ``rows``: ``(hop_channel, hop_sign, lengths)``.
+
+        The hops of the selected paths are returned contiguously in row
+        order, which is what the required-funds aggregation consumes.
+        """
+        hop_channel, hop_sign, ptr = self.csr()
+        rows = np.asarray(rows, dtype=np.intp)
+        lengths = ptr[rows + 1] - ptr[rows]
+        total = int(lengths.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, np.empty(0), lengths
+        starts = ptr[rows]
+        offsets = np.arange(total) - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        positions = np.repeat(starts, lengths) + offsets
+        return hop_channel[positions], hop_sign[positions], lengths
+
+    # ------------------------------------------------------------------ #
+    # vectorized per-path reductions
+    # ------------------------------------------------------------------ #
+    def _directed_hop_prices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-hop ``xi`` and per-hop directed imbalance gap for every hop."""
+        hop_channel, hop_sign, _ = self.csr()
+        channels = self.channels
+        gap = hop_sign * (self.channels.imbalance[0] - self.channels.imbalance[1])[hop_channel]
+        xi = 2.0 * channels.capacity_price[hop_channel] + gap
+        return xi, gap
+
+    def path_prices(self, t_fee: float) -> np.ndarray:
+        """Routing price ``rho_p = (1 + T_fee) * sum xi`` of every path (eq. 25)."""
+        cached = self._price_cache
+        if (
+            cached is not None
+            and cached[0] == self.channels.version
+            and cached[1] == len(self.index)
+            and cached[2] == t_fee
+        ):
+            return cached[3]
+        if len(self.index) == 0:
+            prices = np.empty(0)
+        else:
+            xi, _ = self._directed_hop_prices()
+            _, _, ptr = self.csr()
+            prices = (1.0 + t_fee) * np.add.reduceat(xi, ptr[:-1])
+        self._price_cache = (self.channels.version, len(self.index), t_fee, prices)
+        return prices
+
+    def max_imbalance_gaps(self) -> np.ndarray:
+        """Largest directed imbalance-price gap along every path (eq. 19)."""
+        cached = self._gap_cache
+        if cached is not None and cached[0] == self.channels.version and cached[1] == len(self.index):
+            return cached[2]
+        if len(self.index) == 0:
+            gaps = np.empty(0)
+        else:
+            _, gap = self._directed_hop_prices()
+            _, _, ptr = self.csr()
+            gaps = np.maximum.reduceat(gap, ptr[:-1])
+        self._gap_cache = (self.channels.version, len(self.index), gaps)
+        return gaps
+
+    def aggregate_required_funds(
+        self,
+        rows: np.ndarray,
+        per_path_weights: np.ndarray,
+        hops: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Overwrite required funds from per-path weights (section IV-D).
+
+        ``per_path_weights[i]`` (``rate * settlement_delay``) is added to the
+        sending side of every hop of path ``rows[i]``; directed channels
+        touched by at least one selected path have their required funds
+        overwritten with the aggregate, untouched channels keep their
+        previous value -- exactly the contract of the scalar
+        ``report_required_funds``.
+
+        ``hops`` may carry a pre-gathered ``gather_hops(rows)`` result so
+        per-epoch callers can cache the (registration-stable) hop structure.
+        """
+        hop_channel, hop_sign, lengths = hops if hops is not None else self.gather_hops(rows)
+        channels = self.channels
+        n = len(channels)
+        weights = np.repeat(per_path_weights, lengths)
+        for side, mask in ((0, hop_sign > 0), (1, hop_sign < 0)):
+            touched = np.bincount(hop_channel[mask], minlength=n)[:n] > 0
+            totals = np.bincount(hop_channel[mask], weights=weights[mask], minlength=n)[:n]
+            channels.required[side, : n][touched] = np.maximum(totals[touched], 0.0)
+        channels.version += 1

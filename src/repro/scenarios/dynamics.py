@@ -24,7 +24,7 @@ Three adversarial/dynamic conditions from the PCN literature are modeled:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np

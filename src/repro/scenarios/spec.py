@@ -19,7 +19,7 @@ import copy
 import hashlib
 import itertools
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

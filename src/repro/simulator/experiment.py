@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # imported lazily to keep simulator importable before baselin
     from repro.baselines.base import RoutingScheme, SchemeStepReport
 
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.events import EventKind
+from repro.simulator.events import Event, EventKind
 from repro.simulator.metrics import MetricsCollector, SchemeMetrics
 from repro.simulator.workload import TransactionWorkload
 from repro.topology.network import PCNetwork
@@ -164,13 +164,15 @@ class ExperimentRunner:
             report = scheme.step(_engine.now, self.step_size)
             self._consume(report, scheme, collector)
 
-        for request in self.workload.requests:
-            engine.schedule_at(
-                request.arrival_time,
+        engine.schedule_many(
+            Event(
+                time=request.arrival_time,
                 kind=EventKind.PAYMENT_ARRIVAL,
                 payload=request,
                 handler=on_arrival,
             )
+            for request in self.workload.requests
+        )
         engine.schedule_periodic(
             start=self.step_size,
             interval=self.step_size,

@@ -17,7 +17,7 @@ The model here follows the behaviour the paper relies on:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 NodeId = Hashable

@@ -15,7 +15,7 @@ topologies used throughout the library and its tests:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import networkx as nx
 import numpy as np
@@ -107,7 +107,7 @@ def watts_strogatz_pcn(
     base_fee: float = 0.0,
     fee_rate: float = 0.0,
     rng: Optional[np.random.Generator] = None,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> PCNetwork:
     """The paper's evaluation topology: a funded Watts-Strogatz small world.
 
@@ -149,7 +149,7 @@ def scale_free_pcn(
     base_fee: float = 0.0,
     fee_rate: float = 0.0,
     rng: Optional[np.random.Generator] = None,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> PCNetwork:
     """A Barabasi-Albert scale-free PCN (ROLL generates scale-free graphs)."""
     if node_count < 3:
@@ -169,7 +169,7 @@ def random_pcn(
     uniform_channel_size: float = 100.0,
     candidate_fraction: float = 0.15,
     rng: Optional[np.random.Generator] = None,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> PCNetwork:
     """A connected Erdos-Renyi PCN, used mainly for fuzz and property tests."""
     if node_count < 3:
@@ -188,7 +188,7 @@ def grid_pcn(
     channel_size: float = 100.0,
     candidate_fraction: float = 0.0,
     rng: Optional[np.random.Generator] = None,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
 ) -> PCNetwork:
     """A 2-D grid PCN with uniform channels; node ids are ``(row, col)`` tuples."""
     if rows < 1 or cols < 1:
@@ -275,7 +275,7 @@ def assign_roles_from_placement(network: PCNetwork, hubs: Iterable[NodeId]) -> N
 
 
 def paper_small_scale_network(
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
     channel_scale: float = 1.0,
     candidate_fraction: float = 0.15,
 ) -> PCNetwork:
@@ -292,7 +292,7 @@ def paper_small_scale_network(
 
 def paper_large_scale_network(
     node_count: int = 3000,
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
     channel_scale: float = 1.0,
     candidate_fraction: float = 0.05,
 ) -> PCNetwork:

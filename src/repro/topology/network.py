@@ -10,7 +10,7 @@ that a single topology can be replayed under several routing schemes.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 

@@ -1,6 +1,5 @@
 """Tests for the atomic source-routing baselines (shortest-path, Flash, landmark)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import FlashScheme, LandmarkScheme, ShortestPathScheme

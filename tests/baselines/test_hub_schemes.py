@@ -75,10 +75,8 @@ class TestA2LScheme:
     def test_hub_processing_rate_limits_throughput(self, multi_star_network):
         scheme = A2LScheme(hub_capacity_per_second=2.0, timeout=1.0)
         scheme.prepare(multi_star_network)
-        payments = [
+        for _ in range(30):
             scheme.submit(_request("client-0-0", "client-1-1", 1.0, time=0.0), now=0.0)
-            for _ in range(30)
-        ]
         completed, failed = _run(scheme, 3.0)
         assert len(failed) > 0
         assert len(completed) < 30

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.kmg import KeyManagementGroup
-from repro.core.payment import PaymentDemand, PaymentSession, open_session
+from repro.core.payment import PaymentDemand, open_session
 from repro.routing.transaction import Payment
 
 

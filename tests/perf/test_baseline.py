@@ -1,0 +1,128 @@
+"""Tests for baseline load/compare/update and the regression gate logic."""
+
+import json
+
+import pytest
+
+from repro.perf.baseline import (
+    BaselineEntry,
+    compare_report,
+    filter_entries,
+    load_baseline,
+    update_baseline,
+)
+from repro.perf.harness import BenchmarkRecord, BenchmarkReport
+
+
+def _record(name, normalized, best=0.01):
+    group, scale, variant = name.split("/")
+    return BenchmarkRecord(
+        name=name,
+        group=group,
+        scale=scale,
+        variant=variant,
+        repeats=3,
+        inner=1,
+        best_seconds=best,
+        mean_seconds=best * 1.1,
+        normalized=normalized,
+    )
+
+
+def _report(records):
+    return BenchmarkReport(
+        records=records, calibration_seconds=0.002, revision="testrev", environment={}
+    )
+
+
+def _baseline(**normals):
+    return {
+        name: BaselineEntry(name=name, normalized=value, best_seconds=0.01)
+        for name, value in normals.items()
+    }
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        report = _report([_record("r/small/numpy", 1.1)])
+        comparison = compare_report(report, _baseline(**{"r/small/numpy": 1.0}), tolerance=0.25)
+        assert comparison.ok
+        assert comparison.unchanged == ["r/small/numpy"]
+
+    def test_regression_detected(self):
+        report = _report([_record("r/small/numpy", 1.4)])
+        comparison = compare_report(report, _baseline(**{"r/small/numpy": 1.0}), tolerance=0.25)
+        assert not comparison.ok
+        (name, base, current, ratio) = comparison.regressions[0]
+        assert name == "r/small/numpy"
+        assert ratio == pytest.approx(1.4)
+        assert any("REGRESSION" in line for line in comparison.summary_lines())
+
+    def test_improvement_reported_but_passing(self):
+        report = _report([_record("r/small/numpy", 0.5)])
+        comparison = compare_report(report, _baseline(**{"r/small/numpy": 1.0}), tolerance=0.25)
+        assert comparison.ok
+        assert comparison.improvements[0][0] == "r/small/numpy"
+
+    def test_missing_baseline_entry_fails_gate(self):
+        report = _report([_record("r/small/numpy", 1.0)])
+        baseline = _baseline(**{"r/small/numpy": 1.0, "gone/small/-": 2.0})
+        comparison = compare_report(report, baseline, tolerance=0.25)
+        assert not comparison.ok
+        assert comparison.missing == ["gone/small/-"]
+
+    def test_new_benchmark_is_informational(self):
+        report = _report([_record("fresh/small/-", 1.0)])
+        comparison = compare_report(report, _baseline(), tolerance=0.25)
+        assert comparison.ok
+        assert comparison.new == ["fresh/small/-"]
+
+    def test_negative_tolerance_rejected(self):
+        report = _report([])
+        with pytest.raises(ValueError):
+            compare_report(report, _baseline(), tolerance=-0.1)
+
+
+class TestFilter:
+    def test_restricts_to_executed_scales(self):
+        baseline = _baseline(
+            **{"r/small/numpy": 1.0, "r/large/numpy": 2.0, "s/medium/-": 3.0}
+        )
+        filtered = filter_entries(baseline, ["small", "medium"])
+        assert sorted(filtered) == ["r/small/numpy", "s/medium/-"]
+
+
+class TestUpdate:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        report = _report([_record("r/small/numpy", 1.25, best=0.004)])
+        update_baseline(report, path)
+        entries = load_baseline(path)
+        assert entries["r/small/numpy"].normalized == pytest.approx(1.25)
+        assert entries["r/small/numpy"].best_seconds == pytest.approx(0.004)
+        payload = json.load(open(path))
+        assert payload["revision"] == "testrev"
+
+    def test_partial_update_preserves_other_entries(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        update_baseline(_report([_record("r/small/numpy", 1.0)]), path)
+        update_baseline(_report([_record("r/large/numpy", 5.0)]), path)
+        entries = load_baseline(path)
+        assert sorted(entries) == ["r/large/numpy", "r/small/numpy"]
+        assert entries["r/small/numpy"].normalized == pytest.approx(1.0)
+
+    def test_update_drops_renamed_entries_within_covered_scale(self, tmp_path):
+        """A renamed benchmark must not wedge the gate: updating with the
+        new name drops the stale entry of the same scale, while entries of
+        scales the run did not execute are preserved."""
+        path = str(tmp_path / "baseline.json")
+        update_baseline(
+            _report([_record("old-name/small/numpy", 1.0), _record("r/large/numpy", 5.0)]),
+            path,
+        )
+        update_baseline(_report([_record("new-name/small/numpy", 2.0)]), path)
+        entries = load_baseline(path)
+        assert sorted(entries) == ["new-name/small/numpy", "r/large/numpy"]
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) is None

@@ -1,0 +1,64 @@
+"""End-to-end test of ``python -m repro perf`` (report, baseline, gate)."""
+
+import glob
+import json
+import os
+
+from repro.__main__ import main as cli_main
+
+
+def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
+    out_dir = str(tmp_path / "reports")
+    baseline = str(tmp_path / "baseline.json")
+    base_args = [
+        "perf",
+        "--suite",
+        "small",
+        "--repeats",
+        "1",
+        "--output-dir",
+        out_dir,
+        "--baseline",
+        baseline,
+    ]
+
+    assert cli_main(base_args + ["--update-baseline"]) == 0
+    reports = glob.glob(os.path.join(out_dir, "BENCH_*.json"))
+    assert len(reports) == 1
+    payload = json.load(open(reports[0]))
+    names = {record["name"] for record in payload["records"]}
+    assert names == {
+        "routing-step/small/python",
+        "routing-step/small/numpy",
+        "scenario-run/small/-",
+        "placement-solver/small/-",
+    }
+    assert "routing-step/small" in payload["speedups"]
+    assert payload["calibration_seconds"] > 0
+    assert os.path.exists(baseline)
+
+    # Same machine, huge tolerance: the gate must pass against itself.
+    capsys.readouterr()
+    assert cli_main(base_args + ["--check", "--tolerance", "5.0"]) == 0
+    gate_output = capsys.readouterr().out
+    assert "REGRESSION" not in gate_output
+
+    # No baseline file is a usage error, not a silent pass.
+    missing = str(tmp_path / "absent.json")
+    assert (
+        cli_main(
+            [
+                "perf",
+                "--suite",
+                "small",
+                "--repeats",
+                "1",
+                "--output-dir",
+                out_dir,
+                "--baseline",
+                missing,
+                "--check",
+            ]
+        )
+        == 2
+    )

@@ -111,3 +111,21 @@ class TestMarking:
         queued = _queued_unit(created_at=1.0)
         assert queued.waiting_time(3.0) == pytest.approx(2.0)
         assert queued.waiting_time(0.5) == 0.0
+
+    def test_mark_overdue_agrees_with_should_mark(self):
+        """The vectorized prefilter must never drop a unit should_mark accepts.
+
+        Guards the superset invariant between mark_overdue's array pass and
+        the authoritative scalar predicate: any future change to should_mark
+        that the prefilter does not cover fails here.
+        """
+        controller = CongestionController(delay_threshold=0.4)
+        now = 5.0
+        queued = [
+            _queued_unit(created_at=t, timeout=100.0)
+            for t in (0.0, 4.59, 4.6, 4.61, 4.999, 5.0, 6.5)
+        ]
+        expected = {id(q.unit) for q in queued if controller.should_mark(q, now)}
+        marked = controller.mark_overdue(queued, now)
+        assert {id(unit) for unit in marked} == expected
+        assert all(q.unit.marked == (id(q.unit) in expected) for q in queued)

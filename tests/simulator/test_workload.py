@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.simulator.workload import (
-    TransactionRequest,
-    WorkloadConfig,
-    circular_demand_workload,
-    generate_workload,
-)
-from repro.topology.datasets import TransactionValueDistribution
+from repro.simulator.workload import WorkloadConfig, circular_demand_workload, generate_workload
 
 
 class TestWorkloadConfig:

@@ -15,7 +15,7 @@ from repro.topology.generators import (
     star_pcn,
     watts_strogatz_pcn,
 )
-from repro.topology.network import ROLE_CANDIDATE, ROLE_CLIENT, ROLE_HUB
+from repro.topology.network import ROLE_CANDIDATE
 
 
 class TestWattsStrogatz:
