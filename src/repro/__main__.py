@@ -6,6 +6,9 @@ Subcommands:
 * ``show <scenario>`` -- print a scenario's spec as JSON,
 * ``run <scenario>`` -- execute a scenario grid in parallel, append
   resumable JSONL results and print the aggregated per-scheme table.
+* ``compare`` -- the figure-8 comparison pipeline: shard a multi-scheme,
+  multi-scale scheme comparison over worker processes (one scheme x seed
+  per run, resumable JSONL) and print one figure-8-shaped table per scale.
 * ``perf`` -- run the micro-benchmark suites, emit ``BENCH_<rev>.json`` and
   optionally gate against (``--check``) or rewrite (``--update-baseline``)
   the committed ``benchmarks/perf_baseline.json``.
@@ -24,7 +27,12 @@ import time
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table, scenario_table
-from repro.scenarios.registry import get_scenario, list_scenarios
+from repro.scenarios.registry import (
+    COMPARISON_SCALES,
+    build_comparison_spec,
+    get_scenario,
+    list_scenarios,
+)
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import SchemeSpec
 
@@ -66,6 +74,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extra dotted-path override, e.g. --set workload.value_scale=2.0",
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+
+    compare = commands.add_parser(
+        "compare", help="run the figure-8 scheme comparison, sharded over workers"
+    )
+    compare.add_argument(
+        "--schemes",
+        default="splicer,spider,flash,landmark",
+        help="comma-separated scheme names (default splicer,spider,flash,landmark)",
+    )
+    compare.add_argument(
+        "--scale",
+        default="large",
+        help=(
+            "comma-separated comparison scale(s): "
+            f"{', '.join(sorted(COMPARISON_SCALES))} (default large)"
+        ),
+    )
+    compare.add_argument(
+        "--backend",
+        choices=["numpy", "python"],
+        default="numpy",
+        help="execution backend for every scheme (default numpy)",
+    )
+    compare.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    compare.add_argument("--seeds", default="1", help="comma-separated seeds (default 1)")
+    compare.add_argument(
+        "--duration", type=float, default=8.0, help="workload duration in seconds (default 8)"
+    )
+    compare.add_argument("--nodes", type=int, help="override the scale's node count")
+    compare.add_argument(
+        "--arrival-rate", type=float, help="override the scale's arrival rate (payments/s)"
+    )
+    compare.add_argument(
+        "--results-dir",
+        default=os.path.join("results", "compare"),
+        help="directory for the JSONL results (default results/compare)",
+    )
+    compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
     perf = commands.add_parser("perf", help="run the performance benchmark suites")
     perf.add_argument(
@@ -133,8 +179,23 @@ def _spec_with_cli_overrides(args: argparse.Namespace):
         spec.seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
     if args.schemes:
         wanted = [part.strip() for part in args.schemes.split(",") if part.strip()]
-        by_name = {scheme.name: scheme for scheme in spec.schemes}
-        spec.schemes = [by_name.get(name, SchemeSpec(name=name)) for name in wanted]
+        if "schemes.0" in spec.grid:
+            # Comparison-style scenarios shard the scheme dimension through
+            # the grid; restricting `spec.schemes` alone would be silently
+            # overridden run by run, so filter the grid instead.
+            available = [entry.get("name") for entry in spec.grid["schemes.0"]]
+            missing = [name for name in wanted if name not in available]
+            if missing:
+                raise ValueError(
+                    f"--schemes {','.join(missing)} not in this scenario's grid "
+                    f"schemes: {sorted(available)}"
+                )
+            spec.grid["schemes.0"] = [
+                entry for entry in spec.grid["schemes.0"] if entry.get("name") in wanted
+            ]
+        else:
+            by_name = {scheme.name: scheme for scheme in spec.schemes}
+            spec.schemes = [by_name.get(name, SchemeSpec(name=name)) for name in wanted]
     return spec
 
 
@@ -177,6 +238,65 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     print()
     print(scenario_table(report.rows))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    schemes = [part.strip() for part in args.schemes.split(",") if part.strip()]
+    scales = [part.strip() for part in args.scale.split(",") if part.strip()]
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    if not schemes:
+        raise ValueError("--schemes must name at least one scheme")
+    if not scales:
+        raise ValueError("--scale must name at least one scale")
+    if not seeds:
+        raise ValueError("--seeds must name at least one seed")
+
+    for scale in scales:
+        spec = build_comparison_spec(
+            scale,
+            schemes,
+            backend=args.backend,
+            seeds=seeds,
+            duration=args.duration,
+            nodes=args.nodes,
+        )
+        if args.arrival_rate is not None:
+            spec.workload.arrival_rate = args.arrival_rate
+        runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
+        total = len(spec.expand_runs())
+        nodes = spec.topology.params["node_count"]
+        print(
+            f"compare scale {scale!r}: {nodes} nodes, {len(schemes)} scheme(s) x "
+            f"{len(seeds)} seed(s) = {total} run(s), {args.workers} worker(s) "
+            f"-> {runner.results_path}"
+        )
+
+        started = time.perf_counter()
+        progress = None
+        if not args.quiet:
+
+            def progress(row: Dict[str, object]) -> None:
+                scheme_names = ", ".join(row.get("metrics", {}))
+                print(f"  done seed={row['seed']} scheme={scheme_names}")
+
+        report = runner.run(on_row=progress)
+        elapsed = time.perf_counter() - started
+        print(
+            f"executed {report.executed} run(s), skipped {report.skipped} "
+            f"already-completed, in {elapsed:.1f}s"
+        )
+        print()
+        title = f"Figure 8 comparison -- scale {scale} ({nodes} nodes, backend {args.backend})"
+        table = scenario_table(report.rows)
+        print(title)
+        print("=" * len(title))
+        print(table)
+        print()
+        table_path = os.path.join(args.results_dir, f"fig8-{scale}-{args.backend}.txt")
+        with open(table_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{title}\n{'=' * len(title)}\n{table}\n")
+        print(f"wrote {table_path}")
     return 0
 
 
@@ -268,6 +388,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_show(args.scenario)
         if args.command == "perf":
             return _command_perf(args)
+        if args.command == "compare":
+            return _command_compare(args)
         return _command_run(args)
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)

@@ -28,6 +28,8 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.baselines.batch import AtomicBatchExecutor, CatalogEntry
+from repro.routing.prices import validate_backend
 from repro.routing.transaction import Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.channel import InsufficientFundsError
@@ -88,6 +90,18 @@ class RoutingScheme(abc.ABC):
     def submit(self, request: TransactionRequest, now: float) -> Payment:
         """Offer one payment request to the scheme; returns the payment object."""
 
+    def route_batch(self, requests: Sequence[TransactionRequest]) -> List[Payment]:
+        """Offer a batch of requests that arrived since the last drain.
+
+        The experiment runner coalesces consecutive arrival events into one
+        call (nothing else happened in between, so the decision sequence is
+        unchanged).  Each request is routed at its own ``arrival_time``, which
+        keeps timestamps -- and therefore deadlines and completion times --
+        identical to per-arrival delivery.  Schemes with a vectorized backend
+        override this to amortize work across the batch.
+        """
+        return [self.submit(request, request.arrival_time) for request in requests]
+
     @abc.abstractmethod
     def step(self, now: float, dt: float) -> SchemeStepReport:
         """Advance the scheme by ``dt`` seconds and report finished payments."""
@@ -95,6 +109,28 @@ class RoutingScheme(abc.ABC):
     def finish(self, now: float) -> SchemeStepReport:
         """Flush at the end of the run (default: one final zero-length step)."""
         return self.step(now, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # fast-path state synchronization
+    # ------------------------------------------------------------------ #
+    def flush_state(self) -> None:
+        """Write scheme-internal fast-path state back to the network.
+
+        Called by the runner before anything external (a dynamics event, the
+        end-of-run snapshot logic) reads or mutates the network.  Schemes
+        whose backend mirrors channel balances into arrays flush them here;
+        the default scheme operates on the network directly and has nothing
+        to do.
+        """
+
+    def on_network_change(self) -> None:
+        """The network was mutated outside the scheme; invalidate caches.
+
+        Called by the runner after every dynamics event application and
+        revert.  Topology changes (channel close/open) are also detectable
+        through ``network.topology_version``; this hook additionally covers
+        pure balance mutations such as jamming locks.
+        """
 
     # ------------------------------------------------------------------ #
     # per-payment accounting
@@ -114,10 +150,58 @@ class RoutingScheme(abc.ABC):
 
 
 class AtomicRoutingMixin:
-    """Shared all-or-nothing multi-path execution for source-routing schemes."""
+    """Shared all-or-nothing multi-path execution for source-routing schemes.
+
+    Execution has two interchangeable backends behind the same
+    ``backend="python"|"numpy"`` knob the Splicer router uses:
+
+    * ``python`` -- the readable reference: per-hop
+      :class:`~repro.topology.channel.PaymentChannel` lock/settle walks,
+    * ``numpy`` -- the :class:`~repro.baselines.batch.AtomicBatchExecutor`
+      replays the identical arithmetic on balance arrays with per-pair path
+      catalogs, which is what makes paper-scale comparisons tractable.
+
+    Schemes opt in by calling :meth:`_init_backend` from ``prepare``.
+    """
 
     #: Per-hop settlement delay used to timestamp completions.
     hop_delay: float = 0.02
+
+    #: Set by :meth:`_init_backend`; ``None`` selects the scalar reference.
+    _executor: Optional[AtomicBatchExecutor] = None
+
+    #: Outcomes buffered since the last step; schemes reset this in prepare.
+    _report: SchemeStepReport
+
+    def step(self, now: float, dt: float) -> SchemeStepReport:
+        """Hand over the payments that finished since the last step.
+
+        Atomic schemes execute at submission time, so stepping just swaps the
+        report buffer -- after flushing the array mirror, because step
+        boundaries are the synchronization points at which the channel
+        objects become authoritative again.
+        """
+        self.flush_state()
+        report = self._report
+        self._report = SchemeStepReport()
+        return report
+
+    def _init_backend(self, network: PCNetwork, backend: str) -> None:
+        """Bind the execution backend for a fresh run."""
+        validate_backend(backend)
+        self._executor = (
+            AtomicBatchExecutor(network, hop_delay=self.hop_delay)
+            if backend == "numpy"
+            else None
+        )
+
+    def flush_state(self) -> None:
+        if self._executor is not None:
+            self._executor.flush()
+
+    def on_network_change(self) -> None:
+        if self._executor is not None:
+            self._executor.on_network_change()
 
     def execute_atomic(
         self,
@@ -125,13 +209,17 @@ class AtomicRoutingMixin:
         payment: Payment,
         paths: Sequence[Sequence[NodeId]],
         now: float,
+        entry: Optional[CatalogEntry] = None,
     ) -> bool:
         """Attempt to deliver ``payment`` across ``paths``, all-or-nothing.
 
         The payment value is split across the paths proportionally to their
         current bottleneck capacity.  If the paths cannot jointly carry the
-        value, nothing is transferred and the attempt fails.
+        value, nothing is transferred and the attempt fails.  ``entry`` may
+        carry the catalog resolution of ``paths`` for the array backend.
         """
+        if self._executor is not None:
+            return self._executor.execute(payment, paths, now, entry=entry)
         usable: List[Tuple[Path, float]] = []
         for raw_path in paths:
             path = tuple(raw_path)

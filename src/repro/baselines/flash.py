@@ -45,6 +45,7 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
         timeout: float = 3.0,
         computation: Optional[SourceComputationModel] = None,
         seed: Optional[int] = 0,
+        backend: str = "numpy",
     ) -> None:
         super().__init__()
         if elephant_threshold <= 0:
@@ -55,12 +56,14 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
         self.timeout = timeout
         self.computation = computation or SourceComputationModel(base_delay=0.04)
         self.seed = seed
+        self.backend = backend
         self._rng = np.random.default_rng(seed)
         self._mouse_paths: Dict[Tuple[object, object], List[List[object]]] = {}
         self._report = SchemeStepReport()
 
     def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
         super().prepare(network, rng)
+        self._init_backend(network, self.backend)
         self._rng = rng if rng is not None else np.random.default_rng(self.seed)
         self._mouse_paths = {}
         self._report = SchemeStepReport()
@@ -69,10 +72,25 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
     # path selection
     # ------------------------------------------------------------------ #
     def _paths_for_mouse(self, sender: object, recipient: object) -> List[List[object]]:
-        """Precomputed shortest-path pool for small payments (cached per pair)."""
+        """Precomputed shortest-path pool for small payments (cached per pair).
+
+        Both backends cache the pool forever (Flash never refreshes mouse
+        paths); the array backend keeps it as a *pinned* catalog entry so its
+        channel rows still track the live topology.  Control messages are
+        counted once, when the pool is first computed.
+        """
+        network = self._require_network()
+        if self._executor is not None:
+            entry, computed = self._executor.catalog.resolve(
+                (sender, recipient),
+                lambda: k_shortest_paths(network, sender, recipient, self.mouse_path_pool),
+                pinned=True,
+            )
+            if computed:
+                self.control_messages += len(entry.paths)
+            return entry.paths
         key = (sender, recipient)
         if key not in self._mouse_paths:
-            network = self._require_network()
             self._mouse_paths[key] = k_shortest_paths(
                 network, sender, recipient, self.mouse_path_pool
             )
@@ -82,6 +100,9 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
     def _paths_for_elephant(self, sender: object, recipient: object) -> List[List[object]]:
         """Max-flow style high-capacity paths for large payments."""
         network = self._require_network()
+        if self._executor is not None:
+            # The widest-path search reads live channel balances.
+            self._executor.flush()
         paths = edge_disjoint_widest_paths(network, sender, recipient, self.elephant_paths)
         # Flash probes every candidate path before committing the payment.
         self.control_messages += sum(max(len(path) - 1, 0) for path in paths)
@@ -113,11 +134,6 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
         else:
             self._report.failed.append(payment)
         return payment
-
-    def step(self, now: float, dt: float) -> SchemeStepReport:
-        report = self._report
-        self._report = SchemeStepReport()
-        return report
 
     def extra_delay(self, payment: Payment) -> float:
         base = self.computation.delay_for(self._require_network().node_count())

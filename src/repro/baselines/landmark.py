@@ -37,6 +37,7 @@ class LandmarkScheme(AtomicRoutingMixin, RoutingScheme):
         paths_per_payment: int = 4,
         timeout: float = 3.0,
         computation: Optional[SourceComputationModel] = None,
+        backend: str = "numpy",
     ) -> None:
         super().__init__()
         if landmark_count < 1:
@@ -45,15 +46,40 @@ class LandmarkScheme(AtomicRoutingMixin, RoutingScheme):
         self.paths_per_payment = paths_per_payment
         self.timeout = timeout
         self.computation = computation or SourceComputationModel(base_delay=0.03)
+        self.backend = backend
         self.landmarks: List[object] = []
         self._report = SchemeStepReport()
 
     def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
         super().prepare(network, rng)
+        self._init_backend(network, self.backend)
         # Landmarks are the best-connected nodes, as in prior landmark schemes.
         ranked = sorted(network.nodes(), key=lambda node: network.degree(node), reverse=True)
         self.landmarks = ranked[: self.landmark_count]
         self._report = SchemeStepReport()
+
+    def _landmark_paths(self, sender: object, recipient: object):
+        """Candidate landmark paths plus (array backend) their catalog entry.
+
+        Landmark paths depend only on the topology, so the array backend
+        resolves them once per (pair, topology version) through the landmark
+        index map instead of recomputing two shortest paths per landmark for
+        every payment -- the scalar reference recomputes each time and gets
+        identical paths.
+        """
+        network = self._require_network()
+        if self._executor is None:
+            paths = landmark_paths(
+                network, sender, recipient, self.paths_per_payment, self.landmarks
+            )
+            return paths, None
+        entry, _computed = self._executor.catalog.resolve(
+            (sender, recipient),
+            lambda: landmark_paths(
+                network, sender, recipient, self.paths_per_payment, self.landmarks
+            ),
+        )
+        return entry.paths, entry
 
     def submit(self, request: TransactionRequest, now: float) -> Payment:
         network = self._require_network()
@@ -64,24 +90,17 @@ class LandmarkScheme(AtomicRoutingMixin, RoutingScheme):
             created_at=now,
             timeout=self.timeout,
         )
-        paths = landmark_paths(
-            network, request.sender, request.recipient, self.paths_per_payment, self.landmarks
-        )
+        paths, entry = self._landmark_paths(request.sender, request.recipient)
         self.control_messages += sum(max(len(path) - 1, 0) for path in paths)
         if not paths:
             payment.fail()
             self._report.failed.append(payment)
             return payment
-        if self.execute_atomic(network, payment, paths, now):
+        if self.execute_atomic(network, payment, paths, now, entry=entry):
             self._report.completed.append(payment)
         else:
             self._report.failed.append(payment)
         return payment
-
-    def step(self, now: float, dt: float) -> SchemeStepReport:
-        report = self._report
-        self._report = SchemeStepReport()
-        return report
 
     def extra_delay(self, payment: Payment) -> float:
         return self.computation.delay_for(self._require_network().node_count())

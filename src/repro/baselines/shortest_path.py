@@ -33,14 +33,17 @@ class ShortestPathScheme(AtomicRoutingMixin, RoutingScheme):
         self,
         timeout: float = 3.0,
         computation: Optional[SourceComputationModel] = None,
+        backend: str = "numpy",
     ) -> None:
         super().__init__()
         self.timeout = timeout
         self.computation = computation or SourceComputationModel()
+        self.backend = backend
         self._report = SchemeStepReport()
 
     def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
         super().prepare(network, rng)
+        self._init_backend(network, self.backend)
         self._report = SchemeStepReport()
 
     def submit(self, request: TransactionRequest, now: float) -> Payment:
@@ -52,22 +55,26 @@ class ShortestPathScheme(AtomicRoutingMixin, RoutingScheme):
             created_at=now,
             timeout=self.timeout,
         )
-        paths = k_shortest_paths(network, request.sender, request.recipient, 1)
+        entry = None
+        if self._executor is not None:
+            # One shortest path per pair, recomputed only when topology moves.
+            entry, _computed = self._executor.catalog.resolve(
+                (request.sender, request.recipient),
+                lambda: k_shortest_paths(network, request.sender, request.recipient, 1),
+            )
+            paths = entry.paths
+        else:
+            paths = k_shortest_paths(network, request.sender, request.recipient, 1)
         self.control_messages += 1  # the sender probes its one path
         if not paths:
             payment.fail()
             self._report.failed.append(payment)
             return payment
-        if self.execute_atomic(network, payment, paths, now):
+        if self.execute_atomic(network, payment, paths, now, entry=entry):
             self._report.completed.append(payment)
         else:
             self._report.failed.append(payment)
         return payment
-
-    def step(self, now: float, dt: float) -> SchemeStepReport:
-        report = self._report
-        self._report = SchemeStepReport()
-        return report
 
     def extra_delay(self, payment: Payment) -> float:
         return self.computation.delay_for(self._require_network().node_count())

@@ -291,7 +291,7 @@ def run_specs(
             "numpy": np.__version__,
             "platform": platform.platform(),
             "implementation": platform.python_implementation(),
-            "argv": " ".join(sys.argv[:1]),
+            "argv": " ".join(sys.argv[1:]),
         },
     )
 

@@ -1,6 +1,6 @@
 """Benchmark suites: routing step, scenario run and placement solver.
 
-Each scale (``small``/``medium``/``large``) defines one suite of three
+Each scale (``small``/``medium``/``large``) defines one suite of four
 benchmark groups:
 
 * ``routing-step`` -- one epoch of Algorithm 2's price/rate update
@@ -11,6 +11,10 @@ benchmark groups:
 * ``scenario-run`` -- a full engine-driven experiment run of the Splicer
   scheme over a Watts-Strogatz topology (workload replay, dispatch, HTLC
   locks, metrics).
+* ``fig8-compare`` -- one comparison step of the figure-8 pipeline: the four
+  source-routing baselines replayed over one workload with epoch-batched
+  dispatch, once per execution backend; the ``python``/``numpy`` pair gates
+  the batched baseline backends.
 * ``placement-solver`` -- the placement facade on the same topology family
   (exact method at small scale, double-greedy above).
 
@@ -195,6 +199,75 @@ def _scenario_run_spec(scale: str) -> BenchmarkSpec:
 
 
 # ---------------------------------------------------------------------- #
+# figure-8 comparison step
+# ---------------------------------------------------------------------- #
+class _Fig8CompareState:
+    """One comparison step: the four baselines replayed over one workload.
+
+    Fresh scheme instances per call (path catalogs and balance mirrors are
+    rebuilt each run, exactly as the compare pipeline does); the topology and
+    workload are built once.
+    """
+
+    def __init__(self, nodes: int, duration: float, arrival_rate: float, backend: str) -> None:
+        from repro.baselines import (
+            FlashScheme,
+            LandmarkScheme,
+            ShortestPathScheme,
+            SpiderScheme,
+        )
+
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=4,
+            rewire_probability=0.2,
+            uniform_channel_size=200.0,
+            candidate_fraction=0.2,
+            seed=17,
+        )
+        self.workload = generate_workload(
+            self.network,
+            WorkloadConfig(duration=duration, arrival_rate=arrival_rate, seed=23),
+        )
+        self.runner = ExperimentRunner(self.network, self.workload, step_size=0.1)
+        self._factories = [
+            lambda: SpiderScheme(backend=backend),
+            lambda: FlashScheme(backend=backend, seed=3),
+            lambda: LandmarkScheme(backend=backend),
+            lambda: ShortestPathScheme(backend=backend),
+        ]
+
+    def step(self) -> None:
+        self.runner.run(
+            [factory() for factory in self._factories], rng=np.random.default_rng(9)
+        )
+
+
+def _fig8_compare_specs(scale: str) -> List[BenchmarkSpec]:
+    params = SCALES[scale]
+    nodes = int(params["nodes"])
+    duration = float(params["duration"])
+    arrival_rate = float(params["arrival_rate"])
+    specs = []
+    for backend in ("python", "numpy"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"fig8-compare/{scale}/{backend}",
+                group="fig8-compare",
+                scale=scale,
+                variant=backend,
+                setup=lambda backend=backend: _Fig8CompareState(
+                    nodes, duration, arrival_rate, backend
+                ),
+                fn=lambda state: state.step(),
+                inner=1,
+                meta={"nodes": nodes, "duration": duration, "arrival_rate": arrival_rate},
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------- #
 # placement solver
 # ---------------------------------------------------------------------- #
 class _PlacementState:
@@ -241,6 +314,7 @@ def build_suite(scale: str) -> List[BenchmarkSpec]:
     return [
         *_routing_step_specs(scale),
         _scenario_run_spec(scale),
+        *_fig8_compare_specs(scale),
         _placement_spec(scale),
     ]
 

@@ -88,8 +88,13 @@ class IndexMap:
         return iter(self._keys)
 
 
-def _grow(array: np.ndarray, size: int) -> np.ndarray:
-    """Return ``array`` grown (amortized doubling) to hold ``size`` rows."""
+def grow_array(array: np.ndarray, size: int) -> np.ndarray:
+    """Return ``array`` grown (amortized doubling) to hold ``size`` rows.
+
+    The shared growth policy of every array-backed state holder (channel
+    price arrays here, the baselines' balance mirror); new rows are
+    zero-initialized and existing rows keep their values and positions.
+    """
     if size <= array.shape[0]:
         return array
     new_size = max(_MIN_ALLOC, array.shape[0])
@@ -98,6 +103,13 @@ def _grow(array: np.ndarray, size: int) -> np.ndarray:
     grown = np.zeros(new_size, dtype=array.dtype)
     grown[: array.shape[0]] = array
     return grown
+
+
+def grow_array_2d(array: np.ndarray, size: int) -> np.ndarray:
+    """Return a ``(2, n)`` array grown to hold ``size`` columns per row."""
+    if size <= array.shape[1]:
+        return array
+    return np.vstack([grow_array(array[0], size), grow_array(array[1], size)])
 
 
 class ChannelArrays:
@@ -130,11 +142,11 @@ class ChannelArrays:
         row = self.index.add(key)
         if row >= self.capacity.shape[0]:
             size = row + 1
-            self.capacity = _grow(self.capacity, size)
-            self.capacity_price = _grow(self.capacity_price, size)
-            self.imbalance = np.vstack([_grow(self.imbalance[0], size), _grow(self.imbalance[1], size)])
-            self.required = np.vstack([_grow(self.required[0], size), _grow(self.required[1], size)])
-            self.arrived = np.vstack([_grow(self.arrived[0], size), _grow(self.arrived[1], size)])
+            self.capacity = grow_array(self.capacity, size)
+            self.capacity_price = grow_array(self.capacity_price, size)
+            self.imbalance = grow_array_2d(self.imbalance, size)
+            self.required = grow_array_2d(self.required, size)
+            self.arrived = grow_array_2d(self.arrived, size)
         self.capacity[row] = float(capacity)
         return row
 

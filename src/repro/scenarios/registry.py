@@ -23,6 +23,7 @@ Register custom scenarios with :func:`register_scenario`.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Callable, Dict, List, Optional
 
 from repro.scenarios.spec import (
@@ -169,6 +170,93 @@ def hub_failure() -> ScenarioSpec:
             DynamicsEventSpec(kind="hub-outage", time=2.0, duration=4.0, params={"count": 2})
         ],
         seeds=[1, 2],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# figure-8 comparison pipeline
+# ---------------------------------------------------------------------- #
+#: Node counts and offered load of the comparison scales.  ``paper`` is the
+#: paper's figure-8 network size; ``large`` is the laptop-class default of
+#: ``python -m repro compare``.
+COMPARISON_SCALES: Dict[str, Dict[str, float]] = {
+    "small": {"nodes": 60, "arrival_rate": 20.0},
+    "medium": {"nodes": 200, "arrival_rate": 30.0},
+    "large": {"nodes": 600, "arrival_rate": 40.0},
+    "paper": {"nodes": 3000, "arrival_rate": 60.0},
+}
+
+
+def comparison_scheme_spec(scheme: str, backend: str) -> SchemeSpec:
+    """A scheme spec wired to the requested execution backend."""
+    if scheme == "splicer":
+        return SchemeSpec(
+            name="splicer",
+            params={"router": {"backend": backend}, "placement_method": "greedy"},
+        )
+    if scheme == "a2l":
+        return SchemeSpec(name="a2l")  # single-hub scheme, scalar only
+    return SchemeSpec(name=scheme, params={"backend": backend})
+
+
+def build_comparison_spec(
+    scale: str,
+    schemes: List[str],
+    backend: str = "numpy",
+    seeds: Optional[List[int]] = None,
+    duration: float = 8.0,
+    nodes: Optional[int] = None,
+) -> ScenarioSpec:
+    """The figure-8 comparison at one scale, sharded one scheme per run.
+
+    The scheme dimension goes into the grid as whole serialized
+    :class:`SchemeSpec` entries (``schemes.0``), so every (scheme, seed)
+    combination is an independent run the scenario runner can place on any
+    worker process and resume from its JSONL results file.
+    """
+    try:
+        params = COMPARISON_SCALES[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown comparison scale {scale!r}; available: "
+            f"{', '.join(sorted(COMPARISON_SCALES))}"
+        ) from None
+    nodes = int(params["nodes"]) if nodes is None else int(nodes)
+    return ScenarioSpec(
+        name=f"compare-{scale}",
+        description=f"Figure-8 comparison at the {scale} scale ({nodes} nodes)",
+        topology=TopologySpec(
+            kind="watts-strogatz",
+            params={
+                "node_count": nodes,
+                "nearest_neighbors": 8,
+                "rewire_probability": 0.25,
+                "candidate_fraction": 0.15 if nodes <= 150 else 0.08,
+            },
+            channel_scale=1.0,
+        ),
+        workload=WorkloadSpec(
+            duration=duration, arrival_rate=float(params["arrival_rate"])
+        ),
+        # A constant placeholder: every run's grid override replaces it, and
+        # keeping it independent of --schemes/--backend keeps the spec
+        # fingerprint (and therefore resume keys) stable across invocations
+        # that share the same scale/workload but name different schemes.
+        schemes=[SchemeSpec(name="splicer")],
+        grid={
+            "schemes.0": [
+                asdict(comparison_scheme_spec(scheme, backend)) for scheme in schemes
+            ]
+        },
+        seeds=list(seeds) if seeds else [1],
+    )
+
+
+@register_scenario
+def compare_large() -> ScenarioSpec:
+    """The default ``python -m repro compare`` configuration, for discovery."""
+    return build_comparison_spec(
+        "large", ["splicer", "spider", "flash", "landmark"], backend="numpy"
     )
 
 

@@ -381,6 +381,19 @@ class ScenarioSpec:
         return [(seed, dict(combo)) for seed in self.seeds for combo in combos]
 
     # -- building ------------------------------------------------------ #
+    def scheme_specs(self) -> List[SchemeSpec]:
+        """The scheme list with plain-dict entries coerced to specs.
+
+        Grid overrides may replace a whole ``schemes.<i>`` entry with a
+        serialized dict (the comparison pipeline shards its scheme dimension
+        that way); they are normalized here so every consumer sees
+        :class:`SchemeSpec` objects.
+        """
+        return [
+            entry if isinstance(entry, SchemeSpec) else SchemeSpec(**entry)
+            for entry in self.schemes
+        ]
+
     def build_experiment(self, seed: int) -> Tuple[ExperimentRunner, List[RoutingScheme]]:
         """Build the runner (network + workload + dynamics) and the schemes."""
         network = self.topology.build(derive_seed(seed, "topology"))
@@ -397,7 +410,7 @@ class ScenarioSpec:
             drain_time=self.drain_time,
             dynamics=events,
         )
-        return runner, [scheme_spec.build() for scheme_spec in self.schemes]
+        return runner, [scheme_spec.build() for scheme_spec in self.scheme_specs()]
 
     def run_once(self, seed: int):
         """Execute one seed of this scenario and return the experiment result."""

@@ -4,9 +4,13 @@
 same funded topology under each scheme: channel balances are snapshotted
 before the first run and restored between runs, arrivals are delivered
 through the discrete-event engine, and every scheme is stepped at a fixed
-interval.  The result is one :class:`~repro.simulator.metrics.SchemeMetrics`
-per scheme, which is exactly the material of the paper's figures 7, 8 and 9
-and Table II.
+interval.  By default consecutive arrivals are coalesced and drained in
+epoch-sized batches through :meth:`RoutingScheme.route_batch` -- nothing
+happens between coalesced arrivals and each request keeps its own arrival
+timestamp, so results are identical to per-arrival delivery while vectorized
+scheme backends amortize their work.  The result is one
+:class:`~repro.simulator.metrics.SchemeMetrics` per scheme, which is exactly
+the material of the paper's figures 7, 8 and 9 and Table II.
 """
 
 from __future__ import annotations
@@ -98,6 +102,7 @@ class ExperimentRunner:
         step_size: float = 0.1,
         drain_time: float = 5.0,
         dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
+        batch_arrivals: bool = True,
     ) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
@@ -107,6 +112,7 @@ class ExperimentRunner:
         self.workload = workload
         self.step_size = step_size
         self.drain_time = drain_time
+        self.batch_arrivals = batch_arrivals
         self.dynamics: List[NetworkDynamicsEvent] = list(dynamics or [])
         self._snapshot = network.snapshot()
         self._channel_fees = {
@@ -147,6 +153,13 @@ class ExperimentRunner:
         engine events: each fires at its ``time``, mutates the live network,
         and is undone after its ``duration`` -- or at the end of the run, so
         the next scheme replays the identical (static) starting topology.
+
+        With ``batch_arrivals`` (the default) consecutive arrival events are
+        coalesced and drained through :meth:`RoutingScheme.route_batch` at
+        the next tick or dynamics event.  Nothing happens between coalesced
+        arrivals, and each request is routed at its own arrival time, so the
+        decision sequence is identical to per-arrival delivery; schemes with
+        a vectorized backend amortize their work across the batch.
         """
         self._reset_network()
         scheme.prepare(self.network, rng=rng)
@@ -154,13 +167,30 @@ class ExperimentRunner:
 
         engine = SimulationEngine()
         end_time = self.workload.config.duration + self.drain_time
+        pending: List = []
 
-        def on_arrival(_engine: SimulationEngine, event) -> None:
-            request = event.payload
-            collector.record_generated(request.value)
-            scheme.submit(request, _engine.now)
+        def drain_arrivals() -> None:
+            if not pending:
+                return
+            batch = list(pending)
+            pending.clear()
+            collector.record_generated_batch([request.value for request in batch])
+            scheme.route_batch(batch)
+
+        if self.batch_arrivals:
+
+            def on_arrival(_engine: SimulationEngine, event) -> None:
+                pending.append(event.payload)
+
+        else:
+
+            def on_arrival(_engine: SimulationEngine, event) -> None:
+                request = event.payload
+                collector.record_generated(request.value)
+                scheme.submit(request, _engine.now)
 
         def on_tick(_engine: SimulationEngine, _event) -> None:
+            drain_arrivals()
             report = scheme.step(_engine.now, self.step_size)
             self._consume(report, scheme, collector)
 
@@ -181,16 +211,20 @@ class ExperimentRunner:
             handler=on_tick,
         )
         events = self.dynamics if dynamics is None else list(dynamics)
-        outstanding = self._schedule_dynamics(engine, events)
+        outstanding = self._schedule_dynamics(engine, events, scheme, drain_arrivals)
         try:
             engine.run(until=end_time)
+            drain_arrivals()
             final_report = scheme.finish(end_time)
             self._consume(final_report, scheme, collector)
         finally:
-            # Undo mutations still in effect (newest first) so the snapshot
-            # can be restored for the next scheme.
+            # Make the channel objects authoritative again before touching
+            # them, then undo mutations still in effect (newest first) so the
+            # snapshot can be restored for the next scheme.
+            scheme.flush_state()
             for key in sorted(outstanding, reverse=True):
                 outstanding.pop(key)()
+            scheme.on_network_change()
         collector.add_overhead(scheme.overhead_messages())
         return collector.finalize()
 
@@ -198,8 +232,15 @@ class ExperimentRunner:
         self,
         engine: SimulationEngine,
         events: Sequence[NetworkDynamicsEvent],
+        scheme: RoutingScheme,
+        drain_arrivals: Callable[[], None],
     ) -> Dict[int, Callable[[], None]]:
         """Schedule dynamics events plus their timed reverts on the engine.
+
+        Every mutation is bracketed by the scheme's fast-path hooks: buffered
+        arrivals are drained and array state is flushed *before* the network
+        changes (the mutation may read or rewrite channel balances), and the
+        scheme is told to invalidate its mirrors *after*.
 
         Returns the registry of outstanding undo callables; entries are
         removed as timed reverts fire, and whatever remains at the end of the
@@ -210,7 +251,10 @@ class ExperimentRunner:
 
         def on_dynamics(_engine: SimulationEngine, event) -> None:
             dynamics_event = event.payload
+            drain_arrivals()
+            scheme.flush_state()
             undo = dynamics_event.apply(self.network)
+            scheme.on_network_change()
             if undo is None:
                 return
             key = next(keys)
@@ -222,7 +266,10 @@ class ExperimentRunner:
             def on_revert(_e: SimulationEngine, _ev, _key: int = key) -> None:
                 revert = outstanding.pop(_key, None)
                 if revert is not None:
+                    drain_arrivals()
+                    scheme.flush_state()
                     revert()
+                    scheme.on_network_change()
 
             _engine.schedule_at(
                 _engine.now + dynamics_event.duration,
@@ -291,9 +338,15 @@ def compare_schemes(
     drain_time: float = 5.0,
     parameters: Optional[Dict[str, object]] = None,
     dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
+    batch_arrivals: bool = True,
 ) -> ExperimentResult:
     """One-call convenience wrapper used by the examples and benchmarks."""
     runner = ExperimentRunner(
-        network, workload, step_size=step_size, drain_time=drain_time, dynamics=dynamics
+        network,
+        workload,
+        step_size=step_size,
+        drain_time=drain_time,
+        dynamics=dynamics,
+        batch_arrivals=batch_arrivals,
     )
     return runner.run(schemes, parameters=parameters)

@@ -17,7 +17,7 @@ The paper reports four quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -106,6 +106,15 @@ class MetricsCollector:
         """A payment was offered to the scheme."""
         self.generated_count += 1
         self.generated_value += value
+
+    def record_generated_batch(self, values: Sequence[float]) -> None:
+        """A whole arrival batch was offered to the scheme (epoch draining).
+
+        Delegates per value so batched and per-arrival runs stay bit-identical
+        whatever record_generated accumulates.
+        """
+        for value in values:
+            self.record_generated(value)
 
     def record_completed(self, payment: Payment, extra_delay: float = 0.0) -> None:
         """A payment completed; ``extra_delay`` is the scheme's added latency."""

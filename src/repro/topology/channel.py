@@ -22,7 +22,12 @@ from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 NodeId = Hashable
 
-_EPS = 1e-9
+#: Tolerance for balance-sufficiency checks.  Shared by every execution path
+#: that replays lock arithmetic (the scalar ``execute_atomic`` and the array
+#: backend in :mod:`repro.baselines.batch`) -- the backends stay bit-identical
+#: only while they all test against this one constant.
+EPS = 1e-9
+_EPS = EPS
 
 
 class ChannelError(Exception):
@@ -289,6 +294,23 @@ class PaymentChannel:
         if self._locks:
             raise ChannelError("cannot restore a channel with in-flight locks")
         self._balances = {node: float(amount) for node, amount in balances.items()}
+
+    def write_balances(self, balance_a: float, balance_b: float) -> None:
+        """Overwrite the spendable balances without touching in-flight locks.
+
+        Synchronization primitive for array-backed execution engines that own
+        the balance evolution between flush points: unlike :meth:`restore` it
+        is valid while locks are outstanding (the locked funds stay locked and
+        are still released/settled through the normal lock lifecycle).
+
+        Args:
+            balance_a: New spendable balance on ``node_a``'s side.
+            balance_b: New spendable balance on ``node_b``'s side.
+        """
+        if balance_a < 0 or balance_b < 0:
+            raise ValueError("spendable balances must be non-negative")
+        self._balances[self.node_a] = float(balance_a)
+        self._balances[self.node_b] = float(balance_b)
 
     # ------------------------------------------------------------------ #
     # helpers

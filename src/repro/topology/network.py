@@ -32,6 +32,10 @@ class PCNetwork:
 
     def __init__(self) -> None:
         self._graph = nx.Graph()
+        #: Bumped on every channel addition/removal.  Fast-path layers (path
+        #: catalogs, balance array mirrors) key their caches on this counter
+        #: so topology dynamics invalidate them without explicit wiring.
+        self.topology_version = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -71,6 +75,7 @@ class PCNetwork:
             balance_b = balance_a
         channel = PaymentChannel(node_a, node_b, balance_a, balance_b, base_fee, fee_rate)
         self._graph.add_edge(node_a, node_b, channel=channel)
+        self.topology_version += 1
         return channel
 
     def remove_channel(self, node_a: NodeId, node_b: NodeId) -> Dict[NodeId, float]:
@@ -78,6 +83,7 @@ class PCNetwork:
         channel = self.channel(node_a, node_b)
         settlement = channel.close()
         self._graph.remove_edge(node_a, node_b)
+        self.topology_version += 1
         return settlement
 
     def set_role(self, node: NodeId, role: str) -> None:

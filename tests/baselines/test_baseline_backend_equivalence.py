@@ -1,0 +1,219 @@
+"""Differential suite: batched baseline backends vs their scalar references.
+
+Mirrors ``tests/routing/test_backend_equivalence.py`` one layer up: for each
+baseline scheme the ``backend="numpy"`` batch implementation must match the
+``backend="python"`` reference on every success/failure decision and every
+routed amount, across random topologies and seeds, to 1e-9 -- and the
+epoch-batched arrival draining of the experiment runner must be
+indistinguishable from per-arrival delivery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FlashScheme,
+    LandmarkScheme,
+    ShortestPathScheme,
+    SpiderScheme,
+)
+from repro.baselines.base import AtomicRoutingMixin, RoutingScheme, SchemeStepReport
+from repro.routing.transaction import Payment
+from repro.scenarios.dynamics import churn_events, jamming_events
+from repro.simulator.experiment import ExperimentRunner
+from repro.simulator.workload import WorkloadConfig, generate_workload
+from repro.topology.generators import watts_strogatz_pcn
+from repro.topology.network import PCNetwork
+
+TOL = 1e-9
+
+SCHEME_FACTORIES = {
+    "shortest-path": lambda backend: ShortestPathScheme(backend=backend),
+    "landmark": lambda backend: LandmarkScheme(backend=backend),
+    "flash": lambda backend: FlashScheme(backend=backend, seed=3),
+    "spider": lambda backend: SpiderScheme(backend=backend),
+}
+
+
+def _build_network(seed, nodes=26):
+    return watts_strogatz_pcn(
+        nodes,
+        nearest_neighbors=4,
+        rewire_probability=0.3,
+        uniform_channel_size=80.0,
+        candidate_fraction=0.2,
+        seed=seed,
+    )
+
+
+def _run(scheme_name, backend, seed, dynamics_kind=None, batch_arrivals=True):
+    """One full experiment run; returns (metrics, final channel balances).
+
+    ``seed`` varies both the topology and the workload, so the differential
+    coverage spans different graphs, not just different arrival streams.
+    """
+    network = _build_network(seed=seed + 100)
+    workload = generate_workload(
+        network, WorkloadConfig(duration=4.0, arrival_rate=15.0, seed=seed)
+    )
+    events = None
+    if dynamics_kind == "churn":
+        events = churn_events(
+            network, np.random.default_rng(11), count=8, start=0.5, end=3.0, down_time=1.0
+        )
+    elif dynamics_kind == "jamming":
+        events = jamming_events(network, at=0.5, duration=2.5, count=6, fraction=0.9)
+    runner = ExperimentRunner(
+        network, workload, step_size=0.1, dynamics=events, batch_arrivals=batch_arrivals
+    )
+    scheme = SCHEME_FACTORIES[scheme_name](backend)
+    metrics = runner.run_single(scheme, rng=np.random.default_rng(0))
+    balances = {
+        channel.endpoints: (
+            channel.balance(channel.node_a),
+            channel.balance(channel.node_b),
+        )
+        for channel in network.channels()
+    }
+    return metrics, balances
+
+
+def _assert_equivalent(result_python, result_numpy):
+    metrics_py, balances_py = result_python
+    metrics_np, balances_np = result_numpy
+    assert metrics_np.generated_count == metrics_py.generated_count
+    assert metrics_np.completed_count == metrics_py.completed_count
+    assert metrics_np.failed_count == metrics_py.failed_count
+    assert metrics_np.success_ratio == pytest.approx(metrics_py.success_ratio, abs=TOL)
+    assert metrics_np.completed_value == pytest.approx(metrics_py.completed_value, abs=TOL)
+    assert metrics_np.normalized_throughput == pytest.approx(
+        metrics_py.normalized_throughput, abs=TOL
+    )
+    assert metrics_np.overhead_messages == pytest.approx(metrics_py.overhead_messages, abs=TOL)
+    assert metrics_np.transfer_hops == metrics_py.transfer_hops
+    assert set(balances_np) == set(balances_py)
+    for key, (balance_a, balance_b) in balances_py.items():
+        assert balances_np[key][0] == pytest.approx(balance_a, abs=TOL)
+        assert balances_np[key][1] == pytest.approx(balance_b, abs=TOL)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+class TestStaticEquivalence:
+    """Static topology: both backends agree decision for decision."""
+
+    def test_backends_agree(self, scheme_name, seed):
+        _assert_equivalent(
+            _run(scheme_name, "python", seed), _run(scheme_name, "numpy", seed)
+        )
+
+
+@pytest.mark.parametrize("dynamics_kind", ["churn", "jamming"])
+@pytest.mark.parametrize("scheme_name", ["flash", "landmark", "shortest-path"])
+class TestDynamicEquivalence:
+    """Mid-run topology churn and jamming: path catalogs and the balance
+    mirror must invalidate exactly when the scalar reference sees the
+    mutation, including Flash's deliberately stale mouse-path pools."""
+
+    def test_backends_agree(self, scheme_name, dynamics_kind):
+        _assert_equivalent(
+            _run(scheme_name, "python", seed=4, dynamics_kind=dynamics_kind),
+            _run(scheme_name, "numpy", seed=4, dynamics_kind=dynamics_kind),
+        )
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+class TestBatchDrainingEquivalence:
+    """Epoch-batched arrival draining vs per-arrival delivery (both numpy)."""
+
+    def test_batching_is_invisible(self, scheme_name):
+        _assert_equivalent(
+            _run(scheme_name, "numpy", seed=3, batch_arrivals=False),
+            _run(scheme_name, "numpy", seed=3, batch_arrivals=True),
+        )
+
+
+class TestExecutorArithmetic:
+    """The executor's lock/settle arithmetic against the scalar mixin,
+    including the shared-channel rollback path landmark routes can hit."""
+
+    class _Harness(AtomicRoutingMixin, RoutingScheme):
+        name = "harness"
+
+        def __init__(self, backend):
+            super().__init__()
+            self.backend = backend
+
+        def prepare(self, network, rng=None):
+            super().prepare(network, rng)
+            self._init_backend(network, self.backend)
+
+        def submit(self, request, now):  # pragma: no cover - unused
+            raise NotImplementedError
+
+        def step(self, now, dt):
+            self.flush_state()
+            return SchemeStepReport()
+
+    @staticmethod
+    def _line(n=5, capacity=40.0):
+        network = PCNetwork()
+        nodes = [f"n{i}" for i in range(n)]
+        for node in nodes:
+            network.add_node(node)
+        for a, b in zip(nodes, nodes[1:]):
+            network.add_channel(a, b, capacity, capacity)
+        return network, nodes
+
+    def _execute_sequence(self, backend):
+        network, nodes = self._line()
+        harness = self._Harness(backend)
+        harness.prepare(network)
+        outcomes = []
+        # Two paths sharing the n1-n2 channel: joint capacity looks
+        # sufficient, but the second allocation's lock must fail and roll
+        # back everything (the scalar InsufficientFundsError path).
+        shared = [
+            ("n0", "n1", "n2"),
+            ("n0", "n1", "n2", "n3"),
+        ]
+        cases = [
+            (["n0 n1 n2".split()], 25.0),
+            ([list(path) for path in shared], 70.0),
+            (["n2 n3 n4".split()], 10.0),
+            (["n4 n3".split(), "n4 n3 n2".split()], 50.0),
+        ]
+        for index, (paths, value) in enumerate(cases):
+            payment = Payment.create("s", "t", value, created_at=0.1 * index, timeout=9.0)
+            outcomes.append(harness.execute_atomic(network, payment, paths, 0.1 * index))
+        harness.step(1.0, 0.1)
+        balances = {
+            channel.endpoints: (
+                channel.balance(channel.node_a),
+                channel.balance(channel.node_b),
+            )
+            for channel in network.channels()
+        }
+        return outcomes, balances
+
+    def test_arithmetic_matches(self):
+        outcomes_py, balances_py = self._execute_sequence("python")
+        outcomes_np, balances_np = self._execute_sequence("numpy")
+        assert outcomes_np == outcomes_py
+        for key, (balance_a, balance_b) in balances_py.items():
+            assert balances_np[key][0] == pytest.approx(balance_a, abs=TOL)
+            assert balances_np[key][1] == pytest.approx(balance_b, abs=TOL)
+
+    def test_conservation_after_mixed_outcomes(self):
+        for backend in ("python", "numpy"):
+            network, _ = self._line()
+            total_before = network.total_funds()
+            harness = self._Harness(backend)
+            harness.prepare(network)
+            for value in (10.0, 500.0, 35.0, 120.0):
+                payment = Payment.create("s", "t", value, created_at=0.0, timeout=9.0)
+                harness.execute_atomic(
+                    network, payment, [["n0", "n1", "n2", "n3", "n4"]], 0.0
+                )
+            harness.step(0.1, 0.1)
+            assert network.total_funds() == pytest.approx(total_before, abs=1e-6)

@@ -31,9 +31,12 @@ def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
         "routing-step/small/python",
         "routing-step/small/numpy",
         "scenario-run/small/-",
+        "fig8-compare/small/python",
+        "fig8-compare/small/numpy",
         "placement-solver/small/-",
     }
     assert "routing-step/small" in payload["speedups"]
+    assert "fig8-compare/small" in payload["speedups"]
     assert payload["calibration_seconds"] > 0
     assert os.path.exists(baseline)
 

@@ -1,0 +1,110 @@
+"""Tests for the sharded figure-8 comparison pipeline and its CLI."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.scenarios.registry import (
+    COMPARISON_SCALES,
+    build_comparison_spec,
+    get_scenario,
+)
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioSpec, SchemeSpec
+
+
+class TestComparisonSpec:
+    def test_grid_shards_one_scheme_per_run(self):
+        spec = build_comparison_spec(
+            "small", ["splicer", "spider", "flash"], seeds=[1, 2]
+        )
+        runs = spec.expand_runs()
+        assert len(runs) == 6  # 3 schemes x 2 seeds
+        names = {run[1]["schemes.0"]["name"] for run in runs}
+        assert names == {"splicer", "spider", "flash"}
+
+    def test_backend_reaches_every_scheme(self):
+        spec = build_comparison_spec("small", ["splicer", "spider", "flash"], backend="python")
+        for _, overrides in spec.expand_runs():
+            entry = overrides["schemes.0"]
+            if entry["name"] == "splicer":
+                assert entry["params"]["router"]["backend"] == "python"
+            else:
+                assert entry["params"]["backend"] == "python"
+
+    def test_unknown_scale_is_rejected(self):
+        with pytest.raises(KeyError):
+            build_comparison_spec("galactic", ["splicer"])
+
+    def test_paper_scale_is_registered(self):
+        assert COMPARISON_SCALES["paper"]["nodes"] == 3000
+        assert get_scenario("compare-large").name == "compare-large"
+
+    def test_scheme_dict_overrides_are_coerced(self):
+        """A grid override replacing a whole schemes entry with a plain dict
+        (how the runner ships it to workers) must still build schemes."""
+        spec = ScenarioSpec(name="coerce-test", schemes=[SchemeSpec(name="splicer")])
+        spec = spec.with_overrides(
+            {"schemes.0": {"name": "shortest-path", "params": {"backend": "numpy"}}}
+        )
+        specs = spec.scheme_specs()
+        assert [entry.name for entry in specs] == ["shortest-path"]
+        assert specs[0].build().name == "shortest-path"
+
+
+class TestComparisonRuns:
+    def _tiny_spec(self, schemes, seeds):
+        spec = build_comparison_spec("small", schemes, seeds=seeds, duration=1.5)
+        spec.topology.params["node_count"] = 16
+        return spec
+
+    def test_rows_carry_one_scheme_each(self, tmp_path):
+        spec = self._tiny_spec(["shortest-path", "landmark"], seeds=[1])
+        runner = ScenarioRunner(spec, results_dir=str(tmp_path), workers=1)
+        report = runner.run()
+        assert report.executed == 2
+        schemes_seen = sorted(
+            scheme for row in report.rows for scheme in row["metrics"]
+        )
+        assert schemes_seen == ["landmark", "shortest-path"]
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        spec = self._tiny_spec(["shortest-path"], seeds=[1, 2])
+        runner = ScenarioRunner(spec, results_dir=str(tmp_path), workers=1)
+        assert runner.run().executed == 2
+        again = runner.run()
+        assert again.executed == 0
+        assert again.skipped == 2
+
+
+class TestCompareCli:
+    def test_compare_command_writes_table(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "compare")
+        rc = cli_main(
+            [
+                "compare",
+                "--schemes",
+                "shortest-path,landmark",
+                "--scale",
+                "small",
+                "--seeds",
+                "1",
+                "--duration",
+                "1.5",
+                "--nodes",
+                "16",
+                "--results-dir",
+                results_dir,
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "Figure 8 comparison -- scale small" in output
+        assert "shortest-path" in output
+        table_path = os.path.join(results_dir, "fig8-small-numpy.txt")
+        assert os.path.exists(table_path)
+
+    def test_empty_scheme_list_is_an_error(self):
+        assert cli_main(["compare", "--schemes", ",,"]) == 2
