@@ -9,6 +9,9 @@ Subcommands:
 * ``compare`` -- the figure-8 comparison pipeline: shard a multi-scheme,
   multi-scale scheme comparison over worker processes (one scheme x seed
   per run, resumable JSONL) and print one figure-8-shaped table per scale.
+* ``place-compare`` -- the figure-9 placement pipeline: shard a
+  (placement method x omega x seed) sweep over worker processes and print
+  one figure-9-shaped table per scale.
 * ``perf`` -- run the micro-benchmark suites, emit ``BENCH_<rev>.json`` and
   optionally gate against (``--check``) or rewrite (``--update-baseline``)
   the committed ``benchmarks/perf_baseline.json``.
@@ -27,6 +30,13 @@ import time
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table, scenario_table
+from repro.placement.compare import (
+    PLACE_METHODS,
+    PLACEMENT_SCALES,
+    PlacementCompareRunner,
+    build_place_spec,
+    fig9_table,
+)
 from repro.scenarios.registry import (
     COMPARISON_SCALES,
     build_comparison_spec,
@@ -112,6 +122,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for the JSONL results (default results/compare)",
     )
     compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+
+    place = commands.add_parser(
+        "place-compare",
+        help="run the figure-9 placement method sweep, sharded over workers",
+    )
+    place.add_argument(
+        "--scale",
+        default="small",
+        help=(
+            "comma-separated placement scale(s): "
+            f"{', '.join(sorted(PLACEMENT_SCALES))} (default small)"
+        ),
+    )
+    place.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated placement methods overriding the scale's default "
+            f"line-up; choose from {', '.join(PLACE_METHODS)}"
+        ),
+    )
+    place.add_argument(
+        "--omegas",
+        default=None,
+        help="comma-separated omega sweep values (default: the paper's sweep)",
+    )
+    place.add_argument(
+        "--backend",
+        choices=["numpy", "python"],
+        default="numpy",
+        help="execution backend for every solve (default numpy)",
+    )
+    place.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    place.add_argument("--seeds", default="1", help="comma-separated seeds (default 1)")
+    place.add_argument("--nodes", type=int, help="override the scale's node count")
+    place.add_argument(
+        "--results-dir",
+        default=os.path.join("results", "place"),
+        help="directory for the JSONL results (default results/place)",
+    )
+    place.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
     perf = commands.add_parser("perf", help="run the performance benchmark suites")
     perf.add_argument(
@@ -300,6 +351,75 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_place_compare(args: argparse.Namespace) -> int:
+    scales = [part.strip() for part in args.scale.split(",") if part.strip()]
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    methods = (
+        [part.strip() for part in args.methods.split(",") if part.strip()]
+        if args.methods
+        else None
+    )
+    omegas = (
+        [float(part) for part in args.omegas.split(",") if part.strip()]
+        if args.omegas
+        else None
+    )
+    if not scales:
+        raise ValueError("--scale must name at least one scale")
+    if not seeds:
+        raise ValueError("--seeds must name at least one seed")
+
+    for scale in scales:
+        spec = build_place_spec(
+            scale,
+            methods=methods,
+            omegas=omegas,
+            seeds=seeds,
+            backend=args.backend,
+            nodes=args.nodes,
+        )
+        runner = PlacementCompareRunner(spec, results_dir=args.results_dir, workers=args.workers)
+        total = len(spec.expand_runs())
+        print(
+            f"place-compare scale {scale!r}: {spec.nodes} nodes, "
+            f"{len(spec.methods)} method(s) x {len(spec.omegas)} omega(s) x "
+            f"{len(seeds)} seed(s) = {total} run(s), {args.workers} worker(s) "
+            f"-> {runner.results_path}"
+        )
+
+        started = time.perf_counter()
+        progress = None
+        if not args.quiet:
+
+            def progress(row: Dict[str, object]) -> None:
+                print(
+                    f"  done seed={row['seed']} method={row['method']} "
+                    f"omega={row['omega']} ({row['solve_seconds']}s)"
+                )
+
+        report = runner.run(on_row=progress)
+        elapsed = time.perf_counter() - started
+        print(
+            f"executed {report.executed} run(s), skipped {report.skipped} "
+            f"already-completed, in {elapsed:.1f}s"
+        )
+        print()
+        title = (
+            f"Figure 9 placement comparison -- scale {scale} "
+            f"({spec.nodes} nodes, backend {args.backend})"
+        )
+        table = fig9_table(report.rows, spec.methods)
+        print(title)
+        print("=" * len(title))
+        print(table)
+        print()
+        table_path = os.path.join(args.results_dir, f"fig9-{scale}-{args.backend}.txt")
+        with open(table_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{title}\n{'=' * len(title)}\n{table}\n")
+        print(f"wrote {table_path}")
+    return 0
+
+
 def _command_perf(args: argparse.Namespace) -> int:
     from repro.perf import baseline as perf_baseline
     from repro.perf.harness import default_report_name, run_specs
@@ -390,6 +510,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_perf(args)
         if args.command == "compare":
             return _command_compare(args)
+        if args.command == "place-compare":
+            return _command_place_compare(args)
         return _command_run(args)
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)

@@ -27,9 +27,13 @@ the structure the Splicer router already uses (:mod:`repro.routing.state`):
 
 The scalar implementations stay the readable reference; the differential
 suite in ``tests/baselines/test_baseline_backend_equivalence.py`` pins both
-backends to the same numbers.  One deliberate divergence: the array backend does not
-maintain per-channel lifetime :class:`~repro.topology.channel.ChannelStats`
-counters (lock/settle tallies), which no metric consumes.
+backends to the same numbers.  That includes the per-channel lifetime
+:class:`~repro.topology.channel.ChannelStats` counters: the executor updates
+them eagerly during execution (lock/settle/release tallies, settled volume,
+the running ``max_locked`` high-water mark and the per-settle imbalance
+samples), replaying the scalar lock-lifecycle arithmetic -- including the
+left-to-right ``locked_total`` summation order -- so the counters are
+bit-identical to the scalar backend's.
 """
 
 from __future__ import annotations
@@ -63,6 +67,11 @@ class ChannelBalanceArrays:
         self.network = network
         self.index = IndexMap()
         self.balance = np.zeros((2, _MIN_ALLOC))
+        #: Outstanding locked funds per row at the last sync (jamming locks
+        #: and other externally held locks); the stats replay adds this base
+        #: to the executor's own in-flight shares when it reproduces the
+        #: scalar ``locked_total()`` values.
+        self.locked = np.zeros(_MIN_ALLOC)
         self.alive = np.zeros(_MIN_ALLOC, dtype=bool)
         self.touched = np.zeros(_MIN_ALLOC, dtype=bool)
         self._channels: List[object] = []
@@ -96,6 +105,7 @@ class ChannelBalanceArrays:
             if row >= self.balance.shape[1]:
                 size = row + 1
                 self.balance = grow_array_2d(self.balance, size)
+                self.locked = grow_array(self.locked, size)
                 self.alive = grow_array(self.alive, size)
                 self.touched = grow_array(self.touched, size)
             while len(self._channels) <= row:
@@ -103,6 +113,7 @@ class ChannelBalanceArrays:
             self._channels[row] = channel
             self.balance[0, row] = channel.balance(node_a)
             self.balance[1, row] = channel.balance(node_b)
+            self.locked[row] = channel.locked_total()
             self.alive[row] = True
             self._directed[(node_a, node_b)] = (row, 0)
             self._directed[(node_b, node_a)] = (row, 1)
@@ -323,8 +334,15 @@ class AtomicBatchExecutor:
             return False
 
         # Lock phase: sequential subtraction in scalar order; paths may share
-        # channels (landmark routes), so a later lock can still fail.
+        # channels (landmark routes), so a later lock can still fail.  The
+        # per-channel lifetime stats are replayed alongside: ``in_flight``
+        # holds this payment's outstanding shares per row in creation order,
+        # and every locked_total() the scalar path would observe is
+        # reproduced as the same left-to-right fold starting from the row's
+        # externally locked base.
         balance = balances.balance
+        channels = balances._channels
+        in_flight: Dict[int, List[float]] = {}
         applied: List[Tuple[int, int, float]] = []
         failed = False
         for rows, sides, share, _hops in allocations:
@@ -335,20 +353,45 @@ class AtomicBatchExecutor:
                 balance[side, row] -= share
                 if balance[side, row] < 0:
                     balance[side, row] = 0.0
-                applied.append((int(row), int(side), share))
+                row = int(row)
+                applied.append((row, int(side), share))
+                shares = in_flight.setdefault(row, [])
+                shares.append(share)
+                stats = channels[row].stats
+                stats.locks_created += 1
+                locked_now = balances.locked[row]
+                for amount in shares:
+                    locked_now += amount
+                stats.max_locked = max(stats.max_locked, locked_now)
             if failed:
                 break
         if failed:
             for row, side, amount in applied:
                 balance[side, row] += amount
                 balances.touched[row] = True
+                channels[row].stats.locks_released += 1
             payment.fail()
             return False
 
-        # Settle phase: funds arrive on the receiving side of every hop.
+        # Settle phase: funds arrive on the receiving side of every hop, in
+        # lock-creation order (the scalar settle loop's order), with the
+        # post-settle imbalance sampled exactly as PaymentChannel.settle does.
         for row, side, amount in applied:
             balance[1 - side, row] += amount
             balances.touched[row] = True
+            stats = channels[row].stats
+            stats.locks_settled += 1
+            stats.volume_settled += amount
+            shares = in_flight[row]
+            shares.pop(0)
+            locked_now = balances.locked[row]
+            for pending in shares:
+                locked_now += pending
+            capacity = balance[0, row] + balance[1, row] + locked_now
+            if capacity <= _EPS:
+                stats.record_imbalance(0.0)
+            else:
+                stats.record_imbalance(abs(balance[0, row] - balance[1, row]) / capacity)
 
         longest = max(hops for _, _, _, hops in allocations)
         completion_time = now + self.hop_delay * longest

@@ -45,7 +45,9 @@ class SplicerSystem:
         self.config = config or SplicerConfig()
         self.voting_contract = VotingContract()
         self.placement_contract = PlacementContract(
-            omega=self.config.omega, method=self.config.placement_method
+            omega=self.config.omega,
+            method=self.config.placement_method,
+            backend=self.config.placement_backend,
         )
         self.router = RateRouter(network, self.config.router)
         self.epoch_clock = EpochClock(duration=self.config.epoch_duration)

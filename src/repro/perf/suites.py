@@ -16,7 +16,9 @@ benchmark groups:
   dispatch, once per execution backend; the ``python``/``numpy`` pair gates
   the batched baseline backends.
 * ``placement-solver`` -- the placement facade on the same topology family
-  (exact method at small scale, double-greedy above).
+  (exact method at small scale, double-greedy above), once per execution
+  backend; the ``python``/``numpy`` pair gates the vectorized placement
+  layer at the greedy scales.
 
 Everything is seeded; two runs on one machine measure the same work.
 """
@@ -271,9 +273,18 @@ def _fig8_compare_specs(scale: str) -> List[BenchmarkSpec]:
 # placement solver
 # ---------------------------------------------------------------------- #
 class _PlacementState:
-    """A candidate-bearing topology; each call re-solves placement."""
+    """A candidate-bearing topology; each call re-solves placement.
 
-    def __init__(self, nodes: int, candidate_fraction: float, method: str) -> None:
+    The cost model is rebuilt per call (hop-count probing included), so the
+    measurement covers the full ``solve_placement(network)`` path exactly as
+    the Splicer system and the figure-9 pipeline invoke it.  The ``python``/
+    ``numpy`` variant pair gates the vectorized placement backend; note the
+    small scale solves with the exact method, whose subset scoring is pinned
+    to the scalar reference arithmetic by design, so only the greedy scales
+    (medium/large) are expected to show a backend speedup.
+    """
+
+    def __init__(self, nodes: int, candidate_fraction: float, method: str, backend: str) -> None:
         self.network = watts_strogatz_pcn(
             nodes,
             nearest_neighbors=4,
@@ -283,28 +294,38 @@ class _PlacementState:
             seed=13,
         )
         self.method = method
+        self.backend = backend
 
     def step(self) -> None:
         from repro.placement.solver import solve_placement
 
-        solve_placement(self.network, omega=0.05, method=self.method, seed=0)
+        solve_placement(
+            self.network, omega=0.05, method=self.method, seed=0, backend=self.backend
+        )
 
 
-def _placement_spec(scale: str) -> BenchmarkSpec:
+def _placement_specs(scale: str) -> List[BenchmarkSpec]:
     params = SCALES[scale]
     nodes = int(params["nodes"])
     method = str(params["placement_method"])
     candidate_fraction = float(params["candidate_fraction"])
-    return BenchmarkSpec(
-        name=f"placement-solver/{scale}/-",
-        group="placement-solver",
-        scale=scale,
-        variant="-",
-        setup=lambda: _PlacementState(nodes, candidate_fraction, method),
-        fn=lambda state: state.step(),
-        inner=1,
-        meta={"nodes": nodes, "method": method},
-    )
+    specs = []
+    for backend in ("python", "numpy"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"placement-solver/{scale}/{backend}",
+                group="placement-solver",
+                scale=scale,
+                variant=backend,
+                setup=lambda backend=backend: _PlacementState(
+                    nodes, candidate_fraction, method, backend
+                ),
+                fn=lambda state: state.step(),
+                inner=1,
+                meta={"nodes": nodes, "method": method},
+            )
+        )
+    return specs
 
 
 def build_suite(scale: str) -> List[BenchmarkSpec]:
@@ -315,7 +336,7 @@ def build_suite(scale: str) -> List[BenchmarkSpec]:
         *_routing_step_specs(scale),
         _scenario_run_spec(scale),
         *_fig8_compare_specs(scale),
-        _placement_spec(scale),
+        *_placement_specs(scale),
     ]
 
 

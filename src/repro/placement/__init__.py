@@ -14,24 +14,40 @@ The subpackage provides:
 * :mod:`repro.placement.milp` -- the paper's MILP linearization and a
   branch-and-bound solver over it (small-scale optimal solution).
 * :mod:`repro.placement.supermodular` -- the double-greedy 1/2-approximation
-  (large-scale solution, Algorithm 1).
+  (large-scale solution, Algorithm 1) with the incremental cached-gain
+  :class:`~repro.placement.supermodular.ObjectiveEngine`.
 * :mod:`repro.placement.solver` -- a unified facade that picks the right method.
+* :mod:`repro.placement.compare` -- the sharded figure-9 sweep pipeline behind
+  ``python -m repro place-compare`` (imported on demand, not re-exported here,
+  to keep this package import-light).
+
+Every evaluation path honors the repo-wide ``backend="python"|"numpy"``
+knob carried by :class:`~repro.placement.problem.PlacementProblem`; see
+``docs/architecture.md`` for the convention.
 """
 
 from repro.placement.assignment import optimal_assignment
 from repro.placement.bruteforce import brute_force_placement
-from repro.placement.costs import PlacementCostModel, cost_model_from_network
+from repro.placement.costs import CostArrays, PlacementCostModel, cost_model_from_network
 from repro.placement.milp import MILPModel, linearize_placement, solve_placement_milp
 from repro.placement.problem import PlacementPlan, PlacementProblem
 from repro.placement.solver import PlacementSolver, solve_placement
-from repro.placement.supermodular import double_greedy_placement, is_supermodular
+from repro.placement.supermodular import (
+    ObjectiveEngine,
+    double_greedy_placement,
+    greedy_descent_placement,
+    is_supermodular,
+)
 
 __all__ = [
     "PlacementCostModel",
+    "CostArrays",
     "cost_model_from_network",
     "PlacementProblem",
     "PlacementPlan",
     "optimal_assignment",
+    "ObjectiveEngine",
+    "greedy_descent_placement",
     "brute_force_placement",
     "MILPModel",
     "linearize_placement",

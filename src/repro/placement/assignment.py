@@ -4,11 +4,22 @@ Given a fixed placement ``x``, the balance cost separates per client: client
 ``m`` should be assigned to the placed hub ``n`` that minimizes
 ``omega * sum_{l placed} delta[n][l] + zeta[m][n]``.  This module computes
 that assignment and, for a given placement, the resulting plan and cost.
+
+Both execution backends live here.  The scalar path walks the cost model's
+nested dicts; the vectorized path (``backend="numpy"``) evaluates the same
+quantities on the :class:`~repro.placement.costs.CostArrays` mirror.  The
+vectorized kernels are constructed to be *decision-identical* to the scalar
+reference: synchronization parts accumulate hub-by-hub in candidate order
+(the scalar ``sum`` order), the per-client score is the same two-term
+addition, and ``argmin`` breaks ties by the first (candidate-order) minimum
+exactly as ``min`` over the scalar hub list does.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Sequence
+from typing import Dict, Hashable, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.placement.problem import PlacementPlan, PlacementProblem
 
@@ -20,6 +31,49 @@ def assignment_key(problem: PlacementProblem, hubs: Sequence[NodeId], hub: NodeI
     return problem.omega * sum(problem.costs.delta[hub][l] for l in hubs)
 
 
+def hub_sync_parts(problem: PlacementProblem, hub_rows: np.ndarray) -> np.ndarray:
+    """``omega * sum_l delta[n][l]`` for every hub row, vectorized.
+
+    Accumulates the delta columns hub-by-hub in ``hub_rows`` order (candidate
+    order), reproducing the scalar ``sum`` over the hub list bit-for-bit.
+    """
+    delta = problem.arrays.delta
+    acc = np.zeros(len(hub_rows))
+    for l in hub_rows:
+        acc += delta[hub_rows, l]
+    return problem.omega * acc
+
+
+def assignment_rows(problem: PlacementProblem, hub_rows: np.ndarray) -> np.ndarray:
+    """Per-client index into ``hub_rows`` of each client's Lemma-1 hub."""
+    arrays = problem.arrays
+    scores = arrays.zeta[:, hub_rows] + hub_sync_parts(problem, hub_rows)[None, :]
+    return np.argmin(scores, axis=1)
+
+
+def _candidate_hub_list(problem: PlacementProblem, hubs: Iterable[NodeId]) -> list:
+    """``hubs`` filtered to candidates, in candidate order; never empty.
+
+    Raises the subsystem's canonical error when the placement contains no
+    usable hub (empty, or disjoint from the candidate set).
+    """
+    hub_set = set(hubs)
+    hub_list = [hub for hub in problem.candidates if hub in hub_set]
+    if not hub_list:
+        raise ValueError("cannot assign clients: the placement is empty")
+    return hub_list
+
+
+def _scalar_assignment(problem: PlacementProblem, hub_list: Sequence[NodeId]) -> Dict[NodeId, NodeId]:
+    """The Lemma-1 assignment over a prepared hub list, reference arithmetic."""
+    sync_part = {hub: assignment_key(problem, hub_list, hub) for hub in hub_list}
+    assignment: Dict[NodeId, NodeId] = {}
+    for client in problem.clients:
+        zeta_row = problem.costs.zeta[client]
+        assignment[client] = min(hub_list, key=lambda hub: sync_part[hub] + zeta_row[hub])
+    return assignment
+
+
 def optimal_assignment(
     problem: PlacementProblem,
     hubs: Iterable[NodeId],
@@ -27,18 +81,20 @@ def optimal_assignment(
     """Assign every client to its Lemma-1 optimal hub among ``hubs``.
 
     Ties are broken deterministically by the candidate ordering of the cost
-    model so that repeated runs produce identical plans.
+    model so that repeated runs produce identical plans.  Hubs outside the
+    candidate set are ignored (as the scalar reference always did); a
+    placement with no usable hub raises ``ValueError``.
     """
-    hub_list = [hub for hub in problem.candidates if hub in set(hubs)]
-    if not hub_list:
-        raise ValueError("cannot assign clients: the placement is empty")
-    sync_part = {hub: assignment_key(problem, hub_list, hub) for hub in hub_list}
-    assignment: Dict[NodeId, NodeId] = {}
-    for client in problem.clients:
-        zeta_row = problem.costs.zeta[client]
-        best_hub = min(hub_list, key=lambda hub: sync_part[hub] + zeta_row[hub])
-        assignment[client] = best_hub
-    return assignment
+    hub_list = _candidate_hub_list(problem, hubs)
+    if problem.backend == "numpy":
+        arrays = problem.arrays
+        hub_rows = arrays.candidate_rows(hub_list)
+        choices = assignment_rows(problem, hub_rows)
+        return {
+            client: hub_list[choice]
+            for client, choice in zip(arrays.clients, choices)
+        }
+    return _scalar_assignment(problem, hub_list)
 
 
 def plan_for_placement(
@@ -52,18 +108,51 @@ def plan_for_placement(
     return problem.make_plan(hub_set, assignment, method=method)
 
 
-def placement_cost(problem: PlacementProblem, hubs: Iterable[NodeId]) -> float:
+def placement_cost(
+    problem: PlacementProblem,
+    hubs: Iterable[NodeId],
+    backend: Optional[str] = None,
+) -> float:
     """Balance cost of a placement under its optimal assignment.
 
     This is the set function ``f(X)`` of equation (14); it is the objective
     both exact and approximate placement solvers optimize over subsets of the
     candidate set.  An empty placement is infeasible and maps to ``+inf``.
+
+    Args:
+        problem: The placement instance.
+        hubs: The placement ``X`` to evaluate.
+        backend: Evaluation backend override.  ``None`` follows the problem's
+            backend; the exact enumerative solvers pass ``"python"`` so their
+            optimum selection among floating-point-tied subsets is identical
+            whatever the problem's backend (see
+            :mod:`repro.placement.solver`).
     """
     hub_set = set(hubs)
     if not hub_set:
         return float("inf")
-    assignment = optimal_assignment(problem, hub_set)
-    return problem.balance_cost(hub_set, assignment)
+    hub_list = _candidate_hub_list(problem, hub_set)
+    if (backend or problem.backend) == "numpy":
+        return vectorized_placement_cost(problem, problem.arrays.candidate_rows(hub_list))
+    assignment = _scalar_assignment(problem, hub_list)
+    # hub_list, not the raw set: hubs outside the candidate set are ignored
+    # consistently with the assignment (and with the vectorized branch).
+    return problem.costs.balance_cost(hub_list, assignment, problem.omega)
+
+
+def vectorized_placement_cost(problem: PlacementProblem, hub_rows: np.ndarray) -> float:
+    """``f(X)`` evaluated on the arrays for a hub-row index vector.
+
+    Uses the separable form ``f(X) = sum_m min_n (zeta[m][n] + omega *
+    sum_l delta[n][l]) + omega * sum_{n,l in X} epsilon[n][l]``, which equals
+    the scalar ``C_M + omega * C_S`` regrouped; the two agree to well below
+    the suite's 1e-9 tolerance.
+    """
+    arrays = problem.arrays
+    scores = arrays.zeta[:, hub_rows] + hub_sync_parts(problem, hub_rows)[None, :]
+    per_client = scores.min(axis=1) if scores.size else np.zeros(arrays.client_count)
+    epsilon_total = float(arrays.epsilon[np.ix_(hub_rows, hub_rows)].sum())
+    return float(per_client.sum()) + problem.omega * epsilon_total
 
 
 def is_assignment_optimal(

@@ -47,7 +47,9 @@ def brute_force_placement(
     best_subset = None
     for size in range(1, limit + 1):
         for subset in combinations(candidates, size):
-            cost = placement_cost(problem, subset)
+            # Scalar reference arithmetic: the enumerated optimum (and its
+            # tie-breaks) must not depend on the problem's backend.
+            cost = placement_cost(problem, subset, backend="python")
             if cost < best_cost:
                 best_cost = cost
                 best_subset = subset

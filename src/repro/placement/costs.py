@@ -16,8 +16,10 @@ cost ``C_B = C_M + omega * C_S`` of equations (3)-(5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.topology.network import PCNetwork
 
@@ -31,9 +33,64 @@ PAPER_DELTA_PER_HOP = 0.01
 PAPER_EPSILON_PER_HOP = 0.05
 
 
+@dataclass(frozen=True)
+class CostArrays:
+    """Index-mapped dense mirrors of a :class:`PlacementCostModel`.
+
+    The vectorized placement backend addresses clients and candidates by row
+    index instead of node id.  Indices follow the cost model's ordering, so
+    ``argmin`` tie-breaks reproduce the scalar reference's first-in-candidate-
+    order behaviour exactly.
+
+    Attributes:
+        clients: Client ids in index order (row ``i`` of ``zeta``).
+        candidates: Candidate ids in index order (column/row order of all
+            three matrices).
+        client_index: ``client id -> zeta row``.
+        candidate_index: ``candidate id -> matrix row/column``.
+        zeta: ``(M, Z)`` management-cost matrix.
+        delta: ``(Z, Z)`` per-client synchronization-cost matrix.
+        epsilon: ``(Z, Z)`` constant synchronization-cost matrix.
+    """
+
+    clients: Sequence[NodeId]
+    candidates: Sequence[NodeId]
+    client_index: Mapping[NodeId, int]
+    candidate_index: Mapping[NodeId, int]
+    zeta: np.ndarray
+    delta: np.ndarray
+    epsilon: np.ndarray
+
+    @property
+    def client_count(self) -> int:
+        """Number of clients (rows of ``zeta``)."""
+        return int(self.zeta.shape[0])
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of candidates (rows of ``delta``/``epsilon``)."""
+        return int(self.delta.shape[0])
+
+    def candidate_rows(self, hubs: Iterable[NodeId]) -> np.ndarray:
+        """Matrix rows of ``hubs``, sorted into candidate order.
+
+        Candidate order is the scalar reference's iteration order everywhere
+        (assignment tie-breaks, synchronization-part accumulation), so every
+        vectorized kernel consumes hub index arrays produced here.
+        """
+        rows = sorted(self.candidate_index[hub] for hub in hubs)
+        return np.asarray(rows, dtype=np.intp)
+
+
 @dataclass
 class PlacementCostModel:
     """Cost matrices of the placement problem.
+
+    The nested-dict matrices are the scalar reference representation; the
+    vectorized backend mirrors them once into :class:`CostArrays` via
+    :meth:`as_arrays`.  Cost models are treated as immutable after
+    construction -- mutating the dicts after the arrays were built would
+    desynchronize the two representations.
 
     Attributes:
         clients: Ordered client node ids (``V_CLI``).
@@ -48,6 +105,37 @@ class PlacementCostModel:
     zeta: Dict[NodeId, Dict[NodeId, float]]
     delta: Dict[NodeId, Dict[NodeId, float]]
     epsilon: Dict[NodeId, Dict[NodeId, float]]
+    _arrays: Optional[CostArrays] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def as_arrays(self) -> CostArrays:
+        """The dense index-mapped mirror of the matrices (built once, cached)."""
+        if self._arrays is None:
+            client_index = {client: i for i, client in enumerate(self.clients)}
+            candidate_index = {cand: j for j, cand in enumerate(self.candidates)}
+            zeta = np.array(
+                [[self.zeta[m][n] for n in self.candidates] for m in self.clients],
+                dtype=float,
+            ).reshape(len(self.clients), len(self.candidates))
+            delta = np.array(
+                [[self.delta[n][l] for l in self.candidates] for n in self.candidates],
+                dtype=float,
+            ).reshape(len(self.candidates), len(self.candidates))
+            epsilon = np.array(
+                [[self.epsilon[n][l] for l in self.candidates] for n in self.candidates],
+                dtype=float,
+            ).reshape(len(self.candidates), len(self.candidates))
+            self._arrays = CostArrays(
+                clients=tuple(self.clients),
+                candidates=tuple(self.candidates),
+                client_index=client_index,
+                candidate_index=candidate_index,
+                zeta=zeta,
+                delta=delta,
+                epsilon=epsilon,
+            )
+        return self._arrays
 
     def __post_init__(self) -> None:
         if not self.candidates:

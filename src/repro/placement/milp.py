@@ -227,7 +227,9 @@ class BranchAndBoundSolver:
             warm = tuple(h for h in candidates if h in set(initial_hubs))
             if warm:
                 best_hubs = warm
-                best_cost = placement_cost(problem, warm)
+                # Incumbent scores use the scalar reference arithmetic so the
+                # branch-and-bound search is backend-independent.
+                best_cost = placement_cost(problem, warm, backend="python")
 
         # Depth-first stack of partial fixings: candidate -> 0/1.
         stack: List[Dict[NodeId, int]] = [{}]
@@ -256,7 +258,7 @@ class BranchAndBoundSolver:
                 )
                 if not hubs:
                     continue
-                cost = placement_cost(problem, hubs)
+                cost = placement_cost(problem, hubs, backend="python")
                 if cost < best_cost:
                     best_cost = cost
                     best_hubs = hubs
@@ -270,7 +272,7 @@ class BranchAndBoundSolver:
         if best_hubs is None:
             # Degenerate fallback: place every candidate.
             best_hubs = tuple(candidates)
-            best_cost = placement_cost(problem, best_hubs)
+            best_cost = placement_cost(problem, best_hubs, backend="python")
             proven_optimal = False
 
         plan = plan_for_placement(problem, best_hubs, method="milp-branch-and-bound")

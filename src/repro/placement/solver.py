@@ -1,4 +1,4 @@
-"""Unified placement solver facade.
+"""Unified placement solver facade (paper section V).
 
 Routes a placement instance to the right algorithm:
 
@@ -12,6 +12,15 @@ Routes a placement instance to the right algorithm:
 The facade also builds cost models straight from a
 :class:`~repro.topology.network.PCNetwork`, which is how the rest of the
 library (and the Splicer system itself) invokes placement.
+
+Execution backends: :func:`solve_placement` and :func:`build_problem` accept
+the repo-wide ``backend="python"|"numpy"`` knob (numpy default).  The knob
+selects the arithmetic of the *scalable* paths -- the double-greedy family
+and the Lemma-1 client attachment -- which is where large instances spend
+their time.  The exact enumerative methods (``brute``/``milp``/``exact``)
+always score candidate subsets with the scalar reference arithmetic: they
+are small-scale by definition, and evaluating ties with one fixed evaluation
+order keeps their reported optimum identical whatever the backend.
 """
 
 from __future__ import annotations
@@ -61,8 +70,9 @@ class CombinatorialBranchAndBound:
         problem = self.problem
         candidates = list(problem.candidates)
         # Order candidates by how attractive they are as the sole hub, which
-        # tends to find good incumbents early.
-        candidates.sort(key=lambda c: placement_cost(problem, {c}))
+        # tends to find good incumbents early.  Subset scores use the scalar
+        # reference arithmetic so the search is backend-independent.
+        candidates.sort(key=lambda c: placement_cost(problem, {c}, backend="python"))
 
         best_hubs: Optional[Tuple[NodeId, ...]] = None
         best_cost = float("inf")
@@ -70,7 +80,7 @@ class CombinatorialBranchAndBound:
             warm = tuple(set(initial_hubs) & set(candidates))
             if warm:
                 best_hubs = warm
-                best_cost = placement_cost(problem, warm)
+                best_cost = placement_cost(problem, warm, backend="python")
 
         zeta = problem.costs.zeta
         epsilon = problem.costs.epsilon
@@ -96,7 +106,7 @@ class CombinatorialBranchAndBound:
                 return
             if index == len(candidates):
                 if forced_in:
-                    cost = placement_cost(problem, forced_in)
+                    cost = placement_cost(problem, forced_in, backend="python")
                     if cost < best_cost:
                         best_cost = cost
                         best_hubs = tuple(forced_in)
@@ -174,6 +184,7 @@ def build_problem(
     clients: Optional[Sequence[NodeId]] = None,
     candidates: Optional[Sequence[NodeId]] = None,
     uniform_delta: bool = False,
+    backend: str = "numpy",
 ) -> PlacementProblem:
     """Construct a placement problem from a PCN with the paper's cost model."""
     cost_model = cost_model_from_network(
@@ -182,7 +193,7 @@ def build_problem(
         candidates=candidates,
         uniform_delta=uniform_delta,
     )
-    return PlacementProblem(cost_model, omega=omega)
+    return PlacementProblem(cost_model, omega=omega, backend=backend)
 
 
 def solve_placement(
@@ -190,9 +201,15 @@ def solve_placement(
     omega: float = 0.05,
     method: str = "auto",
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
     **solver_options: object,
 ) -> PlacementPlan:
     """Solve the PCH placement problem for a network or a prepared instance.
+
+    This is the public entry point of the placement subsystem (paper
+    section V: the MILP of equations 6-10 at small scale, Algorithm 1's
+    double-greedy approximation of the supermodular objective of equation 14
+    at large scale, with Lemma-1 client attachment throughout).
 
     Args:
         network_or_problem: Either a :class:`PCNetwork` (the cost model is
@@ -202,12 +219,19 @@ def solve_placement(
             when a network is supplied).
         method: Placement algorithm, see :data:`METHODS`.
         seed: Seed for the randomized greedy variant.
+        backend: Execution backend (``"python"`` scalar reference or the
+            vectorized ``"numpy"``).  ``None`` keeps a supplied problem's
+            backend, and defaults to ``"numpy"`` when a network is supplied.
         **solver_options: Extra :class:`PlacementSolver` fields
             (``deterministic_greedy``, ``local_search``, ``small_scale_limit``).
     """
     if isinstance(network_or_problem, PlacementProblem):
         problem = network_or_problem
+        if backend is not None and backend != problem.backend:
+            problem = problem.with_backend(backend)
     else:
-        problem = build_problem(network_or_problem, omega=omega)
+        problem = build_problem(
+            network_or_problem, omega=omega, backend=backend or "numpy"
+        )
     solver = PlacementSolver(problem, method=method, seed=seed, **solver_options)
     return solver.solve()

@@ -8,26 +8,50 @@ double-greedy algorithm (Algorithm 1 in the paper), which carries a tight
 
 This module implements:
 
-* :func:`placement_objective` -- the set function ``f``,
+* :func:`placement_objective` -- the set function ``f``, evaluated from
+  scratch (the reference the incremental engine is validated against),
 * :func:`objective_upper_bound` -- a valid ``f_ub``,
+* :class:`ObjectiveEngine` -- an incremental evaluator of ``f`` over an
+  evolving placement, with per-candidate marginal-gain caching; probes run
+  on the problem's execution backend (scalar dict walks or the
+  :class:`~repro.placement.costs.CostArrays` kernels),
 * :func:`double_greedy_placement` -- Algorithm 1 (randomized, or the
   deterministic variant when ``deterministic=True``), with an optional
-  single-swap local-search polish,
+  single-swap local-search polish driven by a lazy re-evaluation queue,
+* :func:`greedy_descent_placement` -- a drop-while-it-helps ablation,
 * :func:`is_supermodular` -- an exhaustive/sampled checker for the
   supermodularity property (used to validate Lemma 2's uniform-cost case).
+
+Backend equivalence: both backends run the *same* decision sequence; only
+the arithmetic engine differs.  Marginal gains within ``GAIN_TOLERANCE`` of
+zero are snapped to exactly zero before any branch, and every gain
+comparison -- the deterministic keep/drop choice, the local-search
+improvement test and greedy descent's cross-candidate best-removal pick --
+carries the same tolerance, so floating-point noise between the two
+evaluation orders cannot flip a decision.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import combinations
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.placement.assignment import plan_for_placement, placement_cost
+from repro.placement.assignment import (
+    plan_for_placement,
+    placement_cost,
+    vectorized_placement_cost,
+)
 from repro.placement.problem import PlacementPlan, PlacementProblem
 
 NodeId = Hashable
+
+#: Marginal gains within this tolerance of zero are treated as exactly zero,
+#: and improvement/keep-drop comparisons use it as slack, so both execution
+#: backends branch identically on (near-)tied probes.
+GAIN_TOLERANCE = 1e-12
 
 
 def placement_objective(problem: PlacementProblem, subset: Iterable[NodeId]) -> float:
@@ -35,7 +59,9 @@ def placement_objective(problem: PlacementProblem, subset: Iterable[NodeId]) -> 
 
     The empty placement is infeasible; it is mapped to the objective upper
     bound so that the double-greedy arithmetic stays finite while the empty
-    set remains unattractive.
+    set remains unattractive.  This is the from-scratch evaluation; the
+    solvers go through :class:`ObjectiveEngine`, whose incremental values the
+    property suite pins to this function.
     """
     subset = set(subset)
     if not subset:
@@ -64,6 +90,114 @@ def objective_upper_bound(problem: PlacementProblem) -> float:
     return management_bound + problem.omega * synchronization_bound + 1.0
 
 
+class ObjectiveEngine:
+    """Incremental evaluator of ``f`` over an evolving placement.
+
+    Instead of re-running :func:`placement_objective` from scratch for every
+    probe, the engine maintains the current subset, its objective value and
+    (on the numpy backend) the sorted hub-row vector of the
+    :class:`~repro.placement.costs.CostArrays` mirror.  Marginal gains are
+    cached per candidate and keyed by a state *version* that bumps on every
+    applied move: a cached gain is served for free while the subset is
+    unchanged and lazily re-evaluated the next time the candidate is probed
+    after a move -- the re-evaluation queue of the local search leans on
+    exactly this.
+
+    On ``backend="python"`` every evaluation delegates to the scalar
+    reference arithmetic, so the engine adds caching without changing any
+    number the reference would produce.
+    """
+
+    def __init__(self, problem: PlacementProblem, members: Iterable[NodeId] = ()) -> None:
+        self.problem = problem
+        self.backend = problem.backend
+        self.members: Set[NodeId] = set(members)
+        self.version = 0
+        #: ``candidate -> (version, gain, resulting objective value)``.
+        self._gain_cache: Dict[NodeId, Tuple[int, float, float]] = {}
+        if self.backend == "numpy":
+            self._rows = problem.arrays.candidate_rows(self.members)
+        self.value = self._evaluate_members()
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_members(self) -> float:
+        if not self.members:
+            return objective_upper_bound(self.problem)
+        if self.backend == "numpy":
+            return vectorized_placement_cost(self.problem, self._rows)
+        return placement_cost(self.problem, self.members, backend="python")
+
+    def _evaluate_subset(self, subset: Set[NodeId], rows: Optional[np.ndarray]) -> float:
+        if not subset:
+            return objective_upper_bound(self.problem)
+        if self.backend == "numpy":
+            return vectorized_placement_cost(self.problem, rows)
+        return placement_cost(self.problem, subset, backend="python")
+
+    def _probe(self, candidate: NodeId) -> Tuple[float, float]:
+        """(gain, resulting value) of toggling ``candidate``, cache-backed."""
+        cached = self._gain_cache.get(candidate)
+        if cached is not None and cached[0] == self.version:
+            return cached[1], cached[2]
+        if candidate in self.members:
+            subset = self.members - {candidate}
+            rows = None
+            if self.backend == "numpy":
+                row = self.problem.arrays.candidate_index[candidate]
+                rows = self._rows[self._rows != row]
+        else:
+            subset = self.members | {candidate}
+            rows = None
+            if self.backend == "numpy":
+                row = self.problem.arrays.candidate_index[candidate]
+                position = int(np.searchsorted(self._rows, row))
+                rows = np.insert(self._rows, position, row)
+        value = self._evaluate_subset(subset, rows)
+        gain = value - self.value
+        if abs(gain) < GAIN_TOLERANCE:
+            gain = 0.0
+        self._gain_cache[candidate] = (self.version, gain, value)
+        return gain, value
+
+    def add_gain(self, candidate: NodeId) -> float:
+        """``f(S | {u}) - f(S)``; ``candidate`` must not be a member."""
+        assert candidate not in self.members
+        return self._probe(candidate)[0]
+
+    def remove_gain(self, candidate: NodeId) -> float:
+        """``f(S - {u}) - f(S)``; ``candidate`` must be a member."""
+        assert candidate in self.members
+        return self._probe(candidate)[0]
+
+    def toggle_gain(self, candidate: NodeId) -> Optional[float]:
+        """Gain of flipping the candidate's membership; None if it would empty S."""
+        if candidate in self.members and len(self.members) == 1:
+            return None
+        return self._probe(candidate)[0]
+
+    # ------------------------------------------------------------------ #
+    # state transitions
+    # ------------------------------------------------------------------ #
+    def apply_toggle(self, candidate: NodeId) -> None:
+        """Flip the candidate's membership, reusing the probe's exact value."""
+        _, value = self._probe(candidate)
+        if candidate in self.members:
+            self.members.remove(candidate)
+            if self.backend == "numpy":
+                row = self.problem.arrays.candidate_index[candidate]
+                self._rows = self._rows[self._rows != row]
+        else:
+            self.members.add(candidate)
+            if self.backend == "numpy":
+                row = self.problem.arrays.candidate_index[candidate]
+                position = int(np.searchsorted(self._rows, row))
+                self._rows = np.insert(self._rows, position, row)
+        self.value = value
+        self.version += 1
+
+
 def double_greedy_placement(
     problem: PlacementProblem,
     deterministic: bool = False,
@@ -73,6 +207,11 @@ def double_greedy_placement(
     element_order: Optional[Sequence[NodeId]] = None,
 ) -> PlacementPlan:
     """Algorithm 1: double-greedy placement approximation.
+
+    Probes run through two :class:`ObjectiveEngine` instances (the growing
+    lower set and the shrinking upper set), so each candidate costs two
+    incremental evaluations instead of two from-scratch
+    :func:`placement_objective` recomputations.
 
     Args:
         problem: The placement instance.
@@ -92,96 +231,102 @@ def double_greedy_placement(
     if set(candidates) != set(problem.candidates):
         raise ValueError("element_order must be a permutation of the candidate set")
 
-    f_ub = objective_upper_bound(problem)
-
-    def g(subset: Set[NodeId]) -> float:
-        return f_ub - placement_objective(problem, subset)
-
-    lower: Set[NodeId] = set()
-    upper: Set[NodeId] = set(candidates)
-    g_lower = g(lower)
-    g_upper = g(upper)
+    lower = ObjectiveEngine(problem)
+    upper = ObjectiveEngine(problem, candidates)
 
     for element in candidates:
-        with_element = lower | {element}
-        without_element = upper - {element}
-        g_with = g(with_element)
-        g_without = g(without_element)
-        gain_add = g_with - g_lower
-        gain_remove = g_without - g_upper
+        # In g(X) = f_ub - f(X) terms: the gain of adding to the lower set is
+        # -Δf there, the gain of dropping from the upper set is -Δf there.
+        gain_add = -lower.add_gain(element)
+        gain_remove = -upper.remove_gain(element)
         add_gain = max(gain_add, 0.0)
         remove_gain = max(gain_remove, 0.0)
         if add_gain == 0.0 and remove_gain == 0.0:
             take_add = True  # line 10 of Algorithm 1
         elif deterministic:
-            take_add = gain_add >= gain_remove
+            take_add = gain_add >= gain_remove - GAIN_TOLERANCE
         else:
             take_add = rng.random() < add_gain / (add_gain + remove_gain)
         if take_add:
-            lower = with_element
-            g_lower = g_with
+            lower.apply_toggle(element)
         else:
-            upper = without_element
-            g_upper = g_without
+            upper.apply_toggle(element)
 
-    assert lower == upper, "double greedy must converge to a single solution"
-    solution = lower
+    assert lower.members == upper.members, "double greedy must converge to a single solution"
+    solution = set(lower.members)
     if not solution:
         # Infeasible corner case (can only happen on degenerate cost models):
-        # fall back to the single cheapest hub.
-        solution = {min(candidates, key=lambda c: placement_cost(problem, {c}))}
+        # fall back to the single cheapest hub, scored with the scalar
+        # reference arithmetic so tie-breaks cannot differ across backends.
+        solution = {
+            min(candidates, key=lambda c: placement_cost(problem, {c}, backend="python"))
+        }
+        lower = ObjectiveEngine(problem, solution)
 
     if local_search:
-        solution = _local_search(problem, solution)
+        solution = _local_search(problem, lower)
 
     return plan_for_placement(problem, solution, method="double-greedy")
 
 
-def _local_search(problem: PlacementProblem, solution: Set[NodeId]) -> Set[NodeId]:
-    """Single add/remove local search; stops at a local optimum."""
-    current = set(solution)
-    current_cost = placement_objective(problem, current)
-    improved = True
-    while improved:
-        improved = False
-        for candidate in problem.candidates:
-            if candidate in current:
-                if len(current) == 1:
-                    continue
-                trial = current - {candidate}
-            else:
-                trial = current | {candidate}
-            trial_cost = placement_objective(problem, trial)
-            if trial_cost < current_cost - 1e-12:
-                current = trial
-                current_cost = trial_cost
-                improved = True
-    return current
+def _local_search(problem: PlacementProblem, engine: ObjectiveEngine) -> Set[NodeId]:
+    """Single add/remove local search; stops at a local optimum.
+
+    Sweeps the candidates in order, applying any improving toggle
+    immediately, until one full pass makes no progress.  ``pending`` is the
+    lazy re-evaluation queue: a candidate's gain is (re-)computed only when
+    it is popped, and the engine serves it from the version-keyed cache when
+    the solution has not changed since the last probe -- which makes the
+    final confirming pass (every candidate re-checked, nothing improves)
+    mostly cache hits.
+    """
+    candidates = list(problem.candidates)
+    pending = deque(candidates)
+    improved_in_pass = False
+    while True:
+        if not pending:
+            if not improved_in_pass:
+                break
+            pending = deque(candidates)
+            improved_in_pass = False
+            continue
+        candidate = pending.popleft()
+        gain = engine.toggle_gain(candidate)
+        if gain is not None and gain < -GAIN_TOLERANCE:
+            engine.apply_toggle(candidate)
+            improved_in_pass = True
+    return set(engine.members)
 
 
 def greedy_descent_placement(problem: PlacementProblem) -> PlacementPlan:
     """A simple greedy-descent baseline: start from all candidates, drop while it helps.
 
     Provided as an ablation against the double-greedy algorithm; it has no
-    approximation guarantee for non-monotone objectives.
+    approximation guarantee for non-monotone objectives.  Removal probes go
+    through the same gain cache as the double greedy, so each round costs one
+    incremental evaluation per surviving candidate.
     """
-    current: Set[NodeId] = set(problem.candidates)
-    current_cost = placement_objective(problem, current)
+    engine = ObjectiveEngine(problem, problem.candidates)
     improved = True
-    while improved and len(current) > 1:
+    while improved and len(engine.members) > 1:
         improved = False
         best_candidate = None
-        best_cost = current_cost
-        for candidate in current:
-            trial_cost = placement_objective(problem, current - {candidate})
-            if trial_cost < best_cost - 1e-12:
-                best_cost = trial_cost
+        best_gain = -GAIN_TOLERANCE
+        for candidate in problem.candidates:
+            if candidate not in engine.members:
+                continue
+            gain = engine.remove_gain(candidate)
+            # Tolerance also on the cross-candidate comparison: a later
+            # candidate must beat the incumbent by more than floating-point
+            # noise, so near-tied gains resolve to the same (earlier,
+            # candidate-order) choice on both backends.
+            if gain < best_gain - GAIN_TOLERANCE:
+                best_gain = gain
                 best_candidate = candidate
         if best_candidate is not None:
-            current.remove(best_candidate)
-            current_cost = best_cost
+            engine.apply_toggle(best_candidate)
             improved = True
-    return plan_for_placement(problem, current, method="greedy-descent")
+    return plan_for_placement(problem, engine.members, method="greedy-descent")
 
 
 def is_supermodular(

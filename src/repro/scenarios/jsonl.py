@@ -1,0 +1,199 @@
+"""Generic parallel grid execution with resumable JSONL results files.
+
+This is the worker infrastructure behind both the scenario runner
+(:mod:`repro.scenarios.runner`) and the placement comparison pipeline
+(:mod:`repro.placement.compare`).  A *grid runner* owns a results file of
+one JSON object per line; every grid entry has a stable ``run_key``; running
+the grid executes only the keys not yet present in the file (resume), fans
+the work over a ``multiprocessing`` pool, and appends rows in completion
+order with a flush per row so an interrupted sweep loses at most the row
+being written.
+
+Subclasses provide three things:
+
+* :meth:`JsonlGridRunner.results_name` -- the results file stem,
+* :meth:`JsonlGridRunner.expected_keys` -- every run key of the full grid,
+* :meth:`JsonlGridRunner.pending_tasks` -- picklable task payloads for the
+  keys still missing, executed by the module-level function returned by
+  :meth:`JsonlGridRunner.executor` (module-level so it pickles into worker
+  processes).
+
+Executed tasks must return a JSON-safe row dict carrying ``run_key`` and
+``schema_version``; rows with a foreign schema version are ignored on load
+so stale files never mask new work.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Bumped when a row layout changes; rows with another version are ignored
+#: by resume so stale files never mask new work.
+RESULT_SCHEMA_VERSION = 1
+
+
+def load_result_rows(path: str, schema_version: int = RESULT_SCHEMA_VERSION) -> List[Dict[str, object]]:
+    """Parse a results JSONL file, skipping corrupt/partial lines.
+
+    A run killed mid-write leaves at most one truncated trailing line; it is
+    dropped (and its run re-executes on resume) rather than poisoning the
+    whole file.
+    """
+    rows: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return rows
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if row.get("schema_version") == schema_version and "run_key" in row:
+                rows.append(row)
+    return rows
+
+
+def terminate_partial_line(path: str) -> None:
+    """Newline-terminate a file left truncated by a mid-write crash.
+
+    Without this, the first appended row would concatenate onto the partial
+    line and both rows would be lost to the JSON parser.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+@dataclass
+class GridRunReport:
+    """What one :meth:`JsonlGridRunner.run` invocation did."""
+
+    name: str
+    results_path: str
+    executed: int
+    skipped: int
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All runs of the grid (executed now plus previously completed)."""
+        return self.executed + self.skipped
+
+
+class JsonlGridRunner:
+    """Runs a keyed task grid over worker processes, resumably."""
+
+    #: Schema version stamped on and required of every row.
+    schema_version = RESULT_SCHEMA_VERSION
+
+    #: Report type constructed by :meth:`run`; subclasses may substitute a
+    #: :class:`GridRunReport` subclass (extra accessors, domain naming).
+    report_class = GridRunReport
+
+    def __init__(self, results_dir: str, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.results_dir = results_dir
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    # the grid contract (subclass responsibilities)
+    # ------------------------------------------------------------------ #
+    @property
+    def results_name(self) -> str:
+        """Stem of the results file inside ``results_dir``."""
+        raise NotImplementedError
+
+    def expected_keys(self) -> List[str]:
+        """Run keys of the full grid, in grid order."""
+        raise NotImplementedError
+
+    def pending_tasks(self) -> List[object]:
+        """Picklable payloads of the grid entries missing from the results file."""
+        raise NotImplementedError
+
+    def executor(self) -> Callable[[object], Dict[str, object]]:
+        """The module-level task function (must pickle into worker processes)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # shared machinery
+    # ------------------------------------------------------------------ #
+    @property
+    def results_path(self) -> str:
+        """The grid's JSONL results file."""
+        return os.path.join(self.results_dir, f"{self.results_name}.jsonl")
+
+    def completed_keys(self) -> set:
+        """Run keys already present in the results file."""
+        return {
+            row["run_key"]
+            for row in load_result_rows(self.results_path, self.schema_version)
+        }
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        on_row: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> GridRunReport:
+        """Execute every pending run and append its row to the results file.
+
+        Args:
+            workers: Worker-process count (defaults to the constructor's).
+            on_row: Optional progress callback invoked with each fresh row.
+        """
+        worker_count = self.workers if workers is None else workers
+        tasks = self.pending_tasks()
+        expected = self.expected_keys()
+        skipped = len(expected) - len(tasks)
+        execute = self.executor()
+        os.makedirs(self.results_dir, exist_ok=True)
+
+        fresh_rows: List[Dict[str, object]] = []
+        if tasks:
+            terminate_partial_line(self.results_path)
+            with open(self.results_path, "a", encoding="utf-8") as handle:
+
+                def record(row: Dict[str, object]) -> None:
+                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+                    handle.flush()
+                    fresh_rows.append(row)
+                    if on_row is not None:
+                        on_row(row)
+
+                if worker_count <= 1 or len(tasks) == 1:
+                    for task in tasks:
+                        record(execute(task))
+                else:
+                    with multiprocessing.Pool(min(worker_count, len(tasks))) as pool:
+                        for row in pool.imap_unordered(execute, tasks):
+                            record(row)
+
+        # Report only this grid's rows: the file may also hold rows of the
+        # same name run with other parameters (different fingerprints), which
+        # must not leak into the aggregate.
+        expected_set = set(expected)
+        return self.report_class(
+            name=self.results_name,
+            results_path=self.results_path,
+            executed=len(fresh_rows),
+            skipped=skipped,
+            rows=[
+                row
+                for row in load_result_rows(self.results_path, self.schema_version)
+                if row["run_key"] in expected_set
+            ],
+        )

@@ -1,12 +1,14 @@
 """Parallel scenario orchestration with resumable JSONL results.
 
 :class:`ScenarioRunner` expands a :class:`~repro.scenarios.spec.ScenarioSpec`
-into its run grid (seeds x parameter combinations), fans the runs out over a
-``multiprocessing`` pool, and appends one JSON line per finished run to
-``<results_dir>/<scenario>.jsonl``.  Each run is keyed by its scenario name,
-seed and overrides; re-running the same scenario skips keys already present
-in the results file, so interrupted sweeps resume where they stopped and a
-completed sweep re-runs in zero simulation work.
+into its run grid (seeds x parameter combinations) and executes it through
+the generic :class:`~repro.scenarios.jsonl.JsonlGridRunner` machinery: one
+JSON line per finished run appended to ``<results_dir>/<scenario>.jsonl``,
+fanned out over a ``multiprocessing`` pool.  Each run is keyed by its
+scenario name, spec fingerprint, seed and overrides; re-running the same
+scenario skips keys already present in the results file, so interrupted
+sweeps resume where they stopped and a completed sweep re-runs in zero
+simulation work.
 
 Determinism: every run derives all of its randomness from its own
 ``(seed, purpose)`` pair (see :func:`~repro.scenarios.spec.derive_seed`), so
@@ -19,18 +21,28 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.scenarios.jsonl import (
+    RESULT_SCHEMA_VERSION,
+    GridRunReport,
+    JsonlGridRunner,
+    load_result_rows,
+)
 from repro.scenarios.spec import ScenarioSpec, derive_seed
 
-#: Bumped when the row layout changes; rows with another version are ignored
-#: by resume so stale files never mask new work.
-RESULT_SCHEMA_VERSION = 1
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ScenarioRunReport",
+    "ScenarioRunner",
+    "execute_run",
+    "load_result_rows",
+    "run_key",
+    "spec_fingerprint",
+]
 
 #: Spec fields that expand or label the grid rather than parameterize a run;
 #: changing them must not invalidate already-completed runs.
@@ -95,48 +107,19 @@ def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[
     }
 
 
-def load_result_rows(path: str) -> List[Dict[str, object]]:
-    """Parse a results JSONL file, skipping corrupt/partial lines.
-
-    A run killed mid-write leaves at most one truncated trailing line; it is
-    dropped (and its run re-executes on resume) rather than poisoning the
-    whole file.
-    """
-    rows: List[Dict[str, object]] = []
-    if not os.path.exists(path):
-        return rows
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if row.get("schema_version") == RESULT_SCHEMA_VERSION and "run_key" in row:
-                rows.append(row)
-    return rows
-
-
-@dataclass
-class ScenarioRunReport:
-    """What one :meth:`ScenarioRunner.run` invocation did."""
-
-    scenario: str
-    results_path: str
-    executed: int
-    skipped: int
-    rows: List[Dict[str, object]] = field(default_factory=list)
+class ScenarioRunReport(GridRunReport):
+    """A :class:`~repro.scenarios.jsonl.GridRunReport` with the legacy accessor."""
 
     @property
-    def total(self) -> int:
-        """All runs of the grid (executed now plus previously completed)."""
-        return self.executed + self.skipped
+    def scenario(self) -> str:
+        """The scenario's name (alias of :attr:`name`)."""
+        return self.name
 
 
-class ScenarioRunner:
+class ScenarioRunner(JsonlGridRunner):
     """Runs a scenario's full grid over worker processes, resumably."""
+
+    report_class = ScenarioRunReport
 
     def __init__(
         self,
@@ -144,20 +127,13 @@ class ScenarioRunner:
         results_dir: str = os.path.join("results", "scenarios"),
         workers: int = 1,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
+        super().__init__(results_dir=results_dir, workers=workers)
         self.spec = spec
-        self.results_dir = results_dir
-        self.workers = workers
 
     @property
-    def results_path(self) -> str:
-        """The scenario's JSONL results file."""
-        return os.path.join(self.results_dir, f"{self.spec.name}.jsonl")
-
-    def completed_keys(self) -> set:
-        """Run keys already present in the results file."""
-        return {row["run_key"] for row in load_result_rows(self.results_path)}
+    def results_name(self) -> str:
+        """The scenario's name (stem of the results file)."""
+        return self.spec.name
 
     def expected_keys(self) -> List[str]:
         """Run keys of this spec's full grid, in grid order."""
@@ -178,70 +154,6 @@ class ScenarioRunner:
             if run_key(self.spec.name, seed, overrides, fingerprint) not in done
         ]
 
-    def run(
-        self,
-        workers: Optional[int] = None,
-        on_row: Optional[Callable[[Dict[str, object]], None]] = None,
-    ) -> ScenarioRunReport:
-        """Execute every pending run and append its row to the results file.
-
-        Args:
-            workers: Worker-process count (defaults to the constructor's).
-            on_row: Optional progress callback invoked with each fresh row.
-        """
-        worker_count = self.workers if workers is None else workers
-        tasks = self.pending_tasks()
-        skipped = len(self.spec.expand_runs()) - len(tasks)
-        os.makedirs(self.results_dir, exist_ok=True)
-
-        fresh_rows: List[Dict[str, object]] = []
-        if tasks:
-            self._terminate_partial_line()
-            with open(self.results_path, "a", encoding="utf-8") as handle:
-
-                def record(row: Dict[str, object]) -> None:
-                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
-                    handle.flush()
-                    fresh_rows.append(row)
-                    if on_row is not None:
-                        on_row(row)
-
-                if worker_count <= 1 or len(tasks) == 1:
-                    for task in tasks:
-                        record(execute_run(task))
-                else:
-                    with multiprocessing.Pool(min(worker_count, len(tasks))) as pool:
-                        for row in pool.imap_unordered(execute_run, tasks):
-                            record(row)
-
-        # Report only this spec's rows: the file may also hold rows of the
-        # same scenario run with other parameters (different fingerprints),
-        # which must not leak into the aggregate.
-        expected = set(self.expected_keys())
-        return ScenarioRunReport(
-            scenario=self.spec.name,
-            results_path=self.results_path,
-            executed=len(fresh_rows),
-            skipped=skipped,
-            rows=[
-                row
-                for row in load_result_rows(self.results_path)
-                if row["run_key"] in expected
-            ],
-        )
-
-    def _terminate_partial_line(self) -> None:
-        """Newline-terminate a file left truncated by a mid-write crash.
-
-        Without this, the first appended row would concatenate onto the
-        partial line and both rows would be lost to the JSON parser.
-        """
-        if not os.path.exists(self.results_path):
-            return
-        with open(self.results_path, "rb+") as handle:
-            handle.seek(0, os.SEEK_END)
-            if handle.tell() == 0:
-                return
-            handle.seek(-1, os.SEEK_END)
-            if handle.read(1) != b"\n":
-                handle.write(b"\n")
+    def executor(self):
+        """The module-level scenario task function."""
+        return execute_run

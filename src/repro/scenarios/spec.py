@@ -1,6 +1,9 @@
 """Declarative scenario specifications.
 
-A :class:`ScenarioSpec` fully describes one reproducible experiment family:
+Scenarios generalize the paper's evaluation setup (section VI: small-world
+topologies, heavy-tailed transaction values, skewed recipients, deadlock
+motifs) into data.  A :class:`ScenarioSpec` fully describes one
+reproducible experiment family:
 the topology to generate, the workload to offer, the routing schemes to
 compare, the network dynamics to inject mid-run, the seeds to repeat over
 and an optional parameter grid to sweep.  Specs are plain-data: they

@@ -93,7 +93,17 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Replays one workload over one network under several schemes."""
+    """Replays one workload over one network under several schemes.
+
+    This is the measurement loop behind the paper's evaluation (section VI):
+    each scheme sees the identical funded topology and arrival stream, and
+    its :class:`~repro.simulator.metrics.SchemeMetrics` row is one bar of
+    figures 7/8 or one cell of Table II.  Mid-run network dynamics are
+    applied through the engine with the scheme's fast-path state flushed
+    before and invalidated after every mutation (``flush_state`` /
+    ``on_network_change``), so array-mirror backends observe exactly what
+    the scalar reference would.
+    """
 
     def __init__(
         self,

@@ -46,6 +46,22 @@ def _build_network(seed, nodes=26):
     )
 
 
+def _channel_stats(network):
+    """Per-channel lifetime counters, as comparable plain tuples."""
+    return {
+        channel.endpoints: (
+            channel.stats.locks_created,
+            channel.stats.locks_settled,
+            channel.stats.locks_released,
+            channel.stats.volume_settled,
+            channel.stats.max_locked,
+            channel.stats.imbalance_samples,
+            channel.stats.imbalance_sum,
+        )
+        for channel in network.channels()
+    }
+
+
 def _run(scheme_name, backend, seed, dynamics_kind=None, batch_arrivals=True):
     """One full experiment run; returns (metrics, final channel balances).
 
@@ -75,12 +91,12 @@ def _run(scheme_name, backend, seed, dynamics_kind=None, batch_arrivals=True):
         )
         for channel in network.channels()
     }
-    return metrics, balances
+    return metrics, balances, _channel_stats(network)
 
 
 def _assert_equivalent(result_python, result_numpy):
-    metrics_py, balances_py = result_python
-    metrics_np, balances_np = result_numpy
+    metrics_py, balances_py, stats_py = result_python
+    metrics_np, balances_np, stats_np = result_numpy
     assert metrics_np.generated_count == metrics_py.generated_count
     assert metrics_np.completed_count == metrics_py.completed_count
     assert metrics_np.failed_count == metrics_py.failed_count
@@ -95,6 +111,10 @@ def _assert_equivalent(result_python, result_numpy):
     for key, (balance_a, balance_b) in balances_py.items():
         assert balances_np[key][0] == pytest.approx(balance_a, abs=TOL)
         assert balances_np[key][1] == pytest.approx(balance_b, abs=TOL)
+    # The lifetime ChannelStats counters are part of the contract: the array
+    # backend replays lock/settle/release tallies, the max_locked high-water
+    # mark and the imbalance sampling bit-identically.
+    assert stats_np == stats_py
 
 
 @pytest.mark.parametrize("seed", [1, 2])
@@ -194,15 +214,18 @@ class TestExecutorArithmetic:
             )
             for channel in network.channels()
         }
-        return outcomes, balances
+        return outcomes, balances, _channel_stats(network)
 
     def test_arithmetic_matches(self):
-        outcomes_py, balances_py = self._execute_sequence("python")
-        outcomes_np, balances_np = self._execute_sequence("numpy")
+        outcomes_py, balances_py, stats_py = self._execute_sequence("python")
+        outcomes_np, balances_np, stats_np = self._execute_sequence("numpy")
         assert outcomes_np == outcomes_py
         for key, (balance_a, balance_b) in balances_py.items():
             assert balances_np[key][0] == pytest.approx(balance_a, abs=TOL)
             assert balances_np[key][1] == pytest.approx(balance_b, abs=TOL)
+        # Exact equality: the rollback path must tally releases, and the
+        # settle path the imbalance samples, in the scalar order.
+        assert stats_np == stats_py
 
     def test_conservation_after_mixed_outcomes(self):
         for backend in ("python", "numpy"):

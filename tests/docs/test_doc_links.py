@@ -1,0 +1,104 @@
+"""Link checker for the documentation layer.
+
+Walks every markdown link in ``docs/*.md`` and ``README.md`` and verifies
+that relative file targets exist in the repository and that ``#anchor``
+fragments resolve to a real heading (GitHub slugification) in the target
+document.  External (``http(s)``/``mailto``) links are skipped -- CI has no
+network and their liveness is not this repo's contract.  The same checks
+run in the CI ``docs`` job.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: ``[text](target)`` markdown links; images share the syntax via a leading
+#: ``!`` which the pattern tolerates.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, punctuation stripped)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """Every anchor a markdown file exposes (with GitHub's -1 dedup suffixes)."""
+    slugs: set = set()
+    counts: dict = {}
+    for match in HEADING_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        slug = github_slug(match.group(1))
+        if slug in counts:
+            counts[slug] += 1
+            slugs.add(f"{slug}-{counts[slug]}")
+        else:
+            counts[slug] = 0
+            slugs.add(slug)
+    return slugs
+
+
+def iter_links(path: Path):
+    """(target, position) of every markdown link in a file."""
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        yield match.group(1), match.start()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda path: path.name)
+def test_markdown_links_resolve(doc):
+    problems = []
+    for target, _ in iter_links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target}: file {path_part!r} does not exist")
+                continue
+            anchor_source = resolved
+        else:
+            anchor_source = doc
+        if anchor:
+            if anchor_source.suffix != ".md":
+                problems.append(f"{target}: anchor on a non-markdown target")
+            elif anchor not in heading_slugs(anchor_source):
+                problems.append(f"{target}: no heading slug {anchor!r} in {anchor_source.name}")
+    assert not problems, f"{doc.name}:\n  " + "\n  ".join(problems)
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    """The documentation layer's entry points are reachable from the README."""
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    assert (REPO_ROOT / "docs" / "reproducing.md").exists()
+    readme_targets = {target for target, _ in iter_links(REPO_ROOT / "README.md")}
+    assert "docs/architecture.md" in readme_targets
+    assert "docs/reproducing.md" in readme_targets
+
+
+def test_docs_reference_real_repo_paths():
+    """Inline-code path references in the docs must point at real files.
+
+    Catches the classic docs-rot failure: a module is moved or renamed and a
+    doc keeps recommending the old path.
+    """
+    path_pattern = re.compile(r"`((?:src|tests|benchmarks|docs|examples)/[\w/.\-]+?\.(?:py|md|json))`")
+    problems = []
+    for doc in DOC_FILES:
+        for match in path_pattern.finditer(doc.read_text(encoding="utf-8")):
+            if not (REPO_ROOT / match.group(1)).exists():
+                problems.append(f"{doc.name}: {match.group(1)}")
+    assert not problems, "stale path references:\n  " + "\n  ".join(problems)

@@ -33,10 +33,12 @@ def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
         "scenario-run/small/-",
         "fig8-compare/small/python",
         "fig8-compare/small/numpy",
-        "placement-solver/small/-",
+        "placement-solver/small/python",
+        "placement-solver/small/numpy",
     }
     assert "routing-step/small" in payload["speedups"]
     assert "fig8-compare/small" in payload["speedups"]
+    assert "placement-solver/small" in payload["speedups"]
     assert payload["calibration_seconds"] > 0
     assert os.path.exists(baseline)
 

@@ -1,0 +1,299 @@
+"""Differential suite: vectorized placement backend vs the scalar reference.
+
+Mirrors the routing and baseline equivalence suites one subsystem over: for
+every solver method the ``backend="numpy"`` placement path must produce the
+*identical plan* (hub set and client assignment) as the ``backend="python"``
+reference, with objective values at most 1e-9 apart, across seeds, omegas
+and the degenerate corners (single candidate, disconnected clients).  A
+hypothesis invariant additionally pins the incremental
+:class:`~repro.placement.supermodular.ObjectiveEngine` to the from-scratch
+:func:`~repro.placement.supermodular.placement_objective` on random cost
+models.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement.assignment import optimal_assignment, placement_cost
+from repro.placement.costs import PlacementCostModel, cost_model_from_network
+from repro.placement.problem import PlacementProblem
+from repro.placement.solver import build_problem, solve_placement
+from repro.placement.supermodular import (
+    ObjectiveEngine,
+    double_greedy_placement,
+    greedy_descent_placement,
+    placement_objective,
+)
+from repro.topology.generators import watts_strogatz_pcn
+from repro.topology.network import PCNetwork
+
+TOL = 1e-9
+
+
+def _network(seed, nodes=40, candidate_fraction=0.25):
+    return watts_strogatz_pcn(
+        nodes,
+        nearest_neighbors=4,
+        rewire_probability=0.3,
+        uniform_channel_size=100.0,
+        candidate_fraction=candidate_fraction,
+        seed=seed,
+    )
+
+
+def _assert_plans_identical(plan_python, plan_numpy):
+    assert plan_numpy.hubs == plan_python.hubs
+    assert plan_numpy.assignment == plan_python.assignment
+    assert plan_numpy.balance_cost == pytest.approx(plan_python.balance_cost, abs=TOL)
+    assert plan_numpy.management_cost == pytest.approx(plan_python.management_cost, abs=TOL)
+    assert plan_numpy.synchronization_cost == pytest.approx(
+        plan_python.synchronization_cost, abs=TOL
+    )
+
+
+class TestSolverMethodEquivalence:
+    """Every facade method produces the same plan on both backends."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("omega", [0.0, 0.05, 0.5])
+    def test_greedy_randomized(self, seed, omega):
+        network = _network(seed)
+        plans = [
+            solve_placement(network, omega=omega, method="greedy", seed=7, backend=backend)
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_greedy_deterministic(self, seed):
+        network = _network(seed)
+        plans = [
+            solve_placement(
+                network,
+                omega=0.05,
+                method="greedy",
+                backend=backend,
+                deterministic_greedy=True,
+            )
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_greedy_without_local_search(self, seed):
+        network = _network(seed)
+        plans = [
+            solve_placement(
+                network, omega=0.1, method="greedy", seed=0, backend=backend,
+                local_search=False,
+            )
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("method", ["exact", "milp", "brute"])
+    def test_exact_methods(self, seed, method):
+        network = _network(seed, nodes=24, candidate_fraction=0.25)
+        plans = [
+            solve_placement(network, omega=0.05, method=method, seed=0, backend=backend)
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_greedy_descent(self, seed):
+        network = _network(seed)
+        plans = []
+        for backend in ("python", "numpy"):
+            plans.append(greedy_descent_placement(build_problem(network, backend=backend)))
+        _assert_plans_identical(*plans)
+
+    def test_uniform_delta_lemma2_case(self):
+        network = _network(5)
+        plans = [
+            solve_placement(
+                build_problem(network, omega=0.1, uniform_delta=True, backend=backend),
+                method="greedy",
+                seed=0,
+            )
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+
+class TestDegenerateCases:
+    """The corners the issue calls out: single candidate, disconnected clients."""
+
+    def test_single_candidate(self):
+        network = _network(2, nodes=20)
+        candidates = network.candidates()[:1]
+        plans = [
+            solve_placement(
+                build_problem(network, candidates=candidates, backend=backend),
+                method="greedy",
+                seed=0,
+            )
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+        assert plans[0].hub_count == 1
+
+    def test_disconnected_clients_fall_back_to_uniform_hops(self):
+        network = _network(3, nodes=20)
+        for island in ("island-a", "island-b"):
+            network.add_node(island)
+        clients = network.clients() + ["island-a", "island-b"]
+        plans = [
+            solve_placement(
+                build_problem(network, clients=clients, backend=backend),
+                method="greedy",
+                seed=0,
+            )
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+        # The islands are assigned somewhere (Lemma 1 never strands a client).
+        for island in ("island-a", "island-b"):
+            assert plans[0].assignment[island] in plans[0].hubs
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_non_candidate_hubs_raise_the_canonical_error(self, backend):
+        """A placement disjoint from the candidate set fails loudly, not with
+        an opaque min()/KeyError crash, on both backends."""
+        problem = build_problem(_network(1, nodes=20), backend=backend)
+        with pytest.raises(ValueError, match="placement is empty"):
+            optimal_assignment(problem, ["not-a-candidate"])
+        with pytest.raises(ValueError, match="placement is empty"):
+            placement_cost(problem, ["not-a-candidate"])
+
+    def test_disconnected_candidate_component(self):
+        """A candidate pair unreachable from the rest probes fallback hops."""
+        network = _network(4, nodes=20)
+        network.add_node("far-hub", roles={"candidate"})
+        network.add_node("far-client")
+        network.add_channel("far-hub", "far-client", 50.0, 50.0)
+        plans = [
+            solve_placement(network, omega=0.05, method="greedy", seed=1, backend=backend)
+            for backend in ("python", "numpy")
+        ]
+        _assert_plans_identical(*plans)
+
+
+# ---------------------------------------------------------------------- #
+# hypothesis: incremental engine == from-scratch objective
+# ---------------------------------------------------------------------- #
+@st.composite
+def cost_models(draw):
+    """Random small cost models (arbitrary non-negative matrices)."""
+    client_count = draw(st.integers(min_value=1, max_value=6))
+    candidate_count = draw(st.integers(min_value=1, max_value=5))
+    clients = [f"m{i}" for i in range(client_count)]
+    candidates = [f"n{j}" for j in range(candidate_count)]
+    value = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32)
+    zeta = {
+        m: {n: float(draw(value)) for n in candidates} for m in clients
+    }
+    delta = {
+        n: {l: (0.0 if n == l else float(draw(value))) for l in candidates}
+        for n in candidates
+    }
+    epsilon = {
+        n: {l: (0.0 if n == l else float(draw(value))) for l in candidates}
+        for n in candidates
+    }
+    return PlacementCostModel(clients, candidates, zeta, delta, epsilon)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    model=cost_models(),
+    omega=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    toggles=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12),
+)
+def test_incremental_gains_match_from_scratch(model, omega, toggles):
+    """After any toggle sequence, every cached/incremental value the engine
+    reports equals the from-scratch objective of its current subset, and each
+    probe gain equals the from-scratch objective difference, on both backends
+    -- and the two backends agree with each other."""
+    engines = {}
+    for backend in ("python", "numpy"):
+        problem = PlacementProblem(model, omega=omega, backend=backend)
+        engine = ObjectiveEngine(problem)
+        for index in toggles:
+            candidate = model.candidates[index % len(model.candidates)]
+            gain = engine.toggle_gain(candidate)
+            if gain is None:
+                continue
+            before = placement_objective(problem, engine.members)
+            if candidate in engine.members:
+                after = placement_objective(problem, engine.members - {candidate})
+            else:
+                after = placement_objective(problem, engine.members | {candidate})
+            assert gain == pytest.approx(after - before, abs=TOL)
+            engine.apply_toggle(candidate)
+            assert engine.value == pytest.approx(
+                placement_objective(problem, engine.members), abs=TOL
+            )
+        engines[backend] = engine
+    assert engines["python"].members == engines["numpy"].members
+    assert engines["python"].value == pytest.approx(engines["numpy"].value, abs=TOL)
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=cost_models(), omega=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_double_greedy_backends_agree_on_random_models(model, omega):
+    """Full Algorithm 1 plan identity on arbitrary random cost models."""
+    plans = [
+        double_greedy_placement(
+            PlacementProblem(model, omega=omega, backend=backend), seed=11
+        )
+        for backend in ("python", "numpy")
+    ]
+    _assert_plans_identical(*plans)
+
+
+def test_engine_probe_is_cached_per_version():
+    """A probe at an unchanged version is served from the cache (no re-eval)."""
+    network = _network(1, nodes=20)
+    problem = build_problem(network, backend="numpy")
+    engine = ObjectiveEngine(problem)
+    first_candidate, probed = problem.candidates[0], problem.candidates[1]
+    first_gain = engine.toggle_gain(probed)
+    calls = {"count": 0}
+    original = engine._evaluate_subset
+
+    def counting(subset, rows):
+        calls["count"] += 1
+        return original(subset, rows)
+
+    engine._evaluate_subset = counting
+    assert engine.toggle_gain(probed) == first_gain
+    assert calls["count"] == 0  # cache hit: no evaluation ran
+    engine.apply_toggle(first_candidate)  # bumps the version (1 probe eval)
+    engine.toggle_gain(probed)
+    assert calls["count"] == 2  # the stale cached gain was lazily re-evaluated
+
+
+def test_network_probe_matches_manual_costs():
+    """`cost_model_from_network` arrays mirror the dicts exactly."""
+    network = _network(6, nodes=16)
+    model = cost_model_from_network(network)
+    arrays = model.as_arrays()
+    for i, client in enumerate(model.clients):
+        for j, candidate in enumerate(model.candidates):
+            assert arrays.zeta[i, j] == model.zeta[client][candidate]
+    for i, n in enumerate(model.candidates):
+        for j, l in enumerate(model.candidates):
+            assert arrays.delta[i, j] == model.delta[n][l]
+            assert arrays.epsilon[i, j] == model.epsilon[n][l]
+
+
+def test_empty_network_candidates_rejected():
+    network = PCNetwork()
+    network.add_node("a")
+    network.add_node("b")
+    network.add_channel("a", "b", 10.0, 10.0)
+    with pytest.raises(ValueError):
+        build_problem(network, backend="numpy")

@@ -1,0 +1,129 @@
+"""Tests for the sharded figure-9 placement comparison pipeline and its CLI."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.placement.compare import (
+    DEFAULT_OMEGAS,
+    PLACEMENT_SCALES,
+    PlacementCompareRunner,
+    build_place_spec,
+    fig9_table,
+)
+
+
+class TestPlacementCompareSpec:
+    def test_grid_is_methods_by_omegas_by_seeds(self):
+        spec = build_place_spec("small", omegas=[0.0, 0.1], seeds=[1, 2])
+        runs = spec.expand_runs()
+        assert len(runs) == 2 * 2 * 2  # methods x omegas x seeds
+        assert {run[1]["method"] for run in runs} == {"exact", "greedy"}
+        assert {run[1]["omega"] for run in runs} == {0.0, 0.1}
+
+    def test_scale_defaults(self):
+        assert PLACEMENT_SCALES["paper"]["nodes"] == 3000
+        spec = build_place_spec("paper")
+        assert spec.omegas == list(DEFAULT_OMEGAS)
+        assert "exact" not in spec.methods  # intractable at paper scale
+
+    def test_unknown_scale_and_method_rejected(self):
+        with pytest.raises(KeyError):
+            build_place_spec("galactic")
+        with pytest.raises(ValueError):
+            build_place_spec("small", methods=["simulated-annealing"])
+
+    def test_fingerprint_tracks_configuration_not_grid(self):
+        base = build_place_spec("small")
+        relabeled = build_place_spec("small", omegas=[0.3], seeds=[9])
+        resized = build_place_spec("small", nodes=48)
+        rebackended = build_place_spec("small", backend="python")
+        assert base.fingerprint() == relabeled.fingerprint()
+        assert base.fingerprint() != resized.fingerprint()
+        assert base.fingerprint() != rebackended.fingerprint()
+
+
+class TestPlacementCompareRuns:
+    def _tiny_spec(self, **kwargs):
+        kwargs.setdefault("omegas", [0.02, 0.2])
+        kwargs.setdefault("seeds", [1])
+        kwargs.setdefault("nodes", 24)
+        return build_place_spec("small", **kwargs)
+
+    def test_rows_carry_plan_shape(self, tmp_path):
+        spec = self._tiny_spec()
+        runner = PlacementCompareRunner(spec, results_dir=str(tmp_path), workers=1)
+        report = runner.run()
+        assert report.executed == 4  # 2 methods x 2 omegas
+        for row in report.rows:
+            assert row["hub_count"] >= 1
+            assert row["balance_cost"] > 0
+            assert row["method"] in spec.methods
+        # The exact optimum is never beaten by the model.
+        by_key = {(row["method"], row["omega"]): row for row in report.rows}
+        for omega in spec.omegas:
+            assert (
+                by_key[("greedy", omega)]["balance_cost"]
+                >= by_key[("exact", omega)]["balance_cost"] - 1e-9
+            )
+
+    def test_resume_skips_completed_shards(self, tmp_path):
+        spec = self._tiny_spec()
+        runner = PlacementCompareRunner(spec, results_dir=str(tmp_path), workers=1)
+        assert runner.run().executed == 4
+        again = runner.run()
+        assert again.executed == 0
+        assert again.skipped == 4
+
+    def test_backends_produce_identical_rows(self, tmp_path):
+        rows = {}
+        for backend in ("python", "numpy"):
+            spec = self._tiny_spec(backend=backend)
+            runner = PlacementCompareRunner(
+                spec, results_dir=str(tmp_path / backend), workers=1
+            )
+            rows[backend] = {
+                (row["method"], row["omega"]): (row["hub_count"], row["balance_cost"])
+                for row in runner.run().rows
+            }
+        assert rows["python"] == rows["numpy"]
+
+    def test_fig9_table_pivots_by_omega(self, tmp_path):
+        spec = self._tiny_spec()
+        runner = PlacementCompareRunner(spec, results_dir=str(tmp_path), workers=1)
+        table = fig9_table(runner.run().rows, spec.methods)
+        assert "exact_cost" in table
+        assert "greedy_cost" in table
+        assert "greedy_gap%" in table
+        assert "0.0200" in table and "0.2000" in table
+
+
+class TestPlaceCompareCli:
+    def test_cli_runs_and_writes_table(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "place")
+        code = cli_main(
+            [
+                "place-compare",
+                "--scale",
+                "small",
+                "--nodes",
+                "24",
+                "--omegas",
+                "0.02,0.2",
+                "--workers",
+                "2",
+                "--results-dir",
+                results_dir,
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 9 placement comparison" in output
+        assert os.path.exists(os.path.join(results_dir, "fig9-small-numpy.txt"))
+        assert os.path.exists(os.path.join(results_dir, "place-small.jsonl"))
+
+    def test_cli_rejects_unknown_scale(self, capsys):
+        assert cli_main(["place-compare", "--scale", "galactic"]) == 2
+        assert "unknown placement scale" in capsys.readouterr().err
