@@ -28,7 +28,10 @@ def _sanity(result):
     for name in result.schemes():
         metrics = result.scheme(name)
         assert 0.0 <= metrics.success_ratio <= 1.0
-        assert 0.0 <= metrics.normalized_throughput <= 1.0
+        # completed_value and generated_value sum the same payment values in
+        # different orders (completion vs arrival), so a 100%-success run can
+        # land a few ulps above 1.0.
+        assert 0.0 <= metrics.normalized_throughput <= 1.0 + 1e-9
 
 
 @pytest.mark.benchmark(group="fig8-large-scale")

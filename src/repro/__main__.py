@@ -121,6 +121,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=os.path.join("results", "compare"),
         help="directory for the JSONL results (default results/compare)",
     )
+    compare.add_argument(
+        "--path-cache-dir",
+        default=None,
+        help=(
+            "directory of the persistent path-catalog cache shared by shard "
+            "workers (default <results-dir>/path-cache)"
+        ),
+    )
+    compare.add_argument(
+        "--no-path-cache",
+        action="store_true",
+        help="disable the persistent path-catalog cache",
+    )
     compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
     place = commands.add_parser(
@@ -162,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=os.path.join("results", "place"),
         help="directory for the JSONL results (default results/place)",
     )
+    place.add_argument(
+        "--path-cache-dir",
+        default=None,
+        help=(
+            "directory of the persistent hop-matrix cache shared by shard "
+            "workers (default <results-dir>/path-cache)"
+        ),
+    )
+    place.add_argument(
+        "--no-path-cache",
+        action="store_true",
+        help="disable the persistent hop-matrix cache",
+    )
     place.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
     perf = commands.add_parser("perf", help="run the performance benchmark suites")
@@ -199,6 +225,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline file from this run's measurements",
+    )
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each benchmark once under cProfile and print the hottest calls",
+    )
+    perf.add_argument(
+        "--profile-top",
+        type=int,
+        default=15,
+        help="rows per benchmark in --profile output (default 15)",
     )
     return parser
 
@@ -314,6 +351,10 @@ def _command_compare(args: argparse.Namespace) -> int:
         )
         if args.arrival_rate is not None:
             spec.workload.arrival_rate = args.arrival_rate
+        if not args.no_path_cache:
+            spec.path_cache_dir = args.path_cache_dir or os.path.join(
+                args.results_dir, "path-cache"
+            )
         runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
         total = len(spec.expand_runs())
         nodes = spec.topology.params["node_count"]
@@ -337,6 +378,14 @@ def _command_compare(args: argparse.Namespace) -> int:
             f"executed {report.executed} run(s), skipped {report.skipped} "
             f"already-completed, in {elapsed:.1f}s"
         )
+        cache_rows = [row["path_cache"] for row in report.rows if "path_cache" in row]
+        if cache_rows:
+            hits = sum(int(entry.get("hits", 0)) for entry in cache_rows)
+            misses = sum(int(entry.get("misses", 0)) for entry in cache_rows)
+            print(
+                f"path-catalog cache: {hits} hit(s), {misses} miss(es) "
+                f"across {len(cache_rows)} run(s) -> {spec.path_cache_dir}"
+            )
         print()
         title = f"Figure 8 comparison -- scale {scale} ({nodes} nodes, backend {args.backend})"
         table = scenario_table(report.rows)
@@ -378,6 +427,10 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             backend=args.backend,
             nodes=args.nodes,
         )
+        if not args.no_path_cache:
+            spec.hop_cache_dir = args.path_cache_dir or os.path.join(
+                args.results_dir, "path-cache"
+            )
         runner = PlacementCompareRunner(spec, results_dir=args.results_dir, workers=args.workers)
         total = len(spec.expand_runs())
         print(
@@ -403,6 +456,13 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             f"executed {report.executed} run(s), skipped {report.skipped} "
             f"already-completed, in {elapsed:.1f}s"
         )
+        probe_hits = sum(1 for row in report.rows if row.get("hop_cache") == "hit")
+        probe_misses = sum(1 for row in report.rows if row.get("hop_cache") == "miss")
+        if probe_hits or probe_misses:
+            print(
+                f"hop-matrix cache: {probe_hits} hit(s), {probe_misses} miss(es) "
+                f"-> {spec.hop_cache_dir}"
+            )
         print()
         title = (
             f"Figure 9 placement comparison -- scale {scale} "
@@ -422,7 +482,7 @@ def _command_place_compare(args: argparse.Namespace) -> int:
 
 def _command_perf(args: argparse.Namespace) -> int:
     from repro.perf import baseline as perf_baseline
-    from repro.perf.harness import default_report_name, run_specs
+    from repro.perf.harness import default_report_name, profile_specs, run_specs
     from repro.perf.suites import build_suites
 
     if args.repeats < 1:
@@ -430,6 +490,12 @@ def _command_perf(args: argparse.Namespace) -> int:
     scales = ["small", "medium", "large"] if args.suite == "all" else [args.suite]
     specs = build_suites(scales)
     print(f"perf: {len(specs)} benchmark(s) across suite(s) {', '.join(scales)}")
+
+    if args.profile:
+        if args.profile_top < 1:
+            raise ValueError("--profile-top must be at least 1")
+        profile_specs(specs, top=args.profile_top)
+        return 0
 
     def on_record(record) -> None:
         print(

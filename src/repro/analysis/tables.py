@@ -59,6 +59,8 @@ def result_table(
         "success_ratio",
         "normalized_throughput",
         "average_delay",
+        "p90_delay",
+        "p99_delay",
         "overhead_messages",
         "completed_count",
         "generated_count",
@@ -66,11 +68,15 @@ def result_table(
     return format_table(result.as_rows(), columns=columns or default_columns)
 
 
-#: Metrics averaged by :func:`scenario_summary_rows`.
+#: Metrics averaged by :func:`scenario_summary_rows`.  Tail latency (p90/p99)
+#: rides along with the mean: the paper's delay plots compare the tail, which
+#: a mean-only table hides.
 SCENARIO_SUMMARY_METRICS = (
     "success_ratio",
     "normalized_throughput",
     "average_delay",
+    "p90_delay",
+    "p99_delay",
     "overhead_messages",
 )
 

@@ -61,6 +61,7 @@ class ShortestPathScheme(AtomicRoutingMixin, RoutingScheme):
             entry, _computed = self._executor.catalog.resolve(
                 (request.sender, request.recipient),
                 lambda: k_shortest_paths(network, request.sender, request.recipient, 1),
+                store_key=("ksp", 1),
             )
             paths = entry.paths
         else:

@@ -296,6 +296,36 @@ def run_specs(
     )
 
 
+def profile_specs(
+    specs: Sequence[BenchmarkSpec],
+    top: int = 15,
+    stream=None,
+) -> None:
+    """Run each benchmark once under cProfile and print its hottest calls.
+
+    The diagnostic sibling of :func:`run_specs`: setup and one warmup call
+    stay outside the profile (caches, lazy imports), then ``inner``
+    iterations run under the profiler and the top ``top`` functions by
+    cumulative time are printed.  No report or baseline is produced --
+    profiling overhead would poison the numbers.
+    """
+    import cProfile
+    import pstats
+
+    out = stream if stream is not None else sys.stdout
+    for spec in specs:
+        state = spec.setup()
+        _time_once(spec.fn, state, spec.inner)  # warmup: caches, lazy imports
+        profile = cProfile.Profile()
+        profile.enable()
+        for _ in range(spec.inner):
+            spec.fn(state)
+        profile.disable()
+        print(f"\n=== {spec.name} (inner={spec.inner}) ===", file=out)
+        stats = pstats.Stats(profile, stream=out)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
 def git_revision() -> str:
     """Short git revision of the working tree, or ``local`` outside a repo."""
     try:

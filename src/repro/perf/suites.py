@@ -1,6 +1,6 @@
-"""Benchmark suites: routing step, scenario run and placement solver.
+"""Benchmark suites: routing step, scenario run, path generation, placement.
 
-Each scale (``small``/``medium``/``large``) defines one suite of four
+Each scale (``small``/``medium``/``large``) defines one suite of five
 benchmark groups:
 
 * ``routing-step`` -- one epoch of Algorithm 2's price/rate update
@@ -11,6 +11,12 @@ benchmark groups:
 * ``scenario-run`` -- a full engine-driven experiment run of the Splicer
   scheme over a Watts-Strogatz topology (workload replay, dispatch, HTLC
   locks, metrics).
+* ``path-generation`` -- per-pair path-catalog generation with all four
+  Table-II selectors (KSP / heuristic / EDW / EDS) on a figure-8-family
+  topology, once per graph backend; the ``python``/``numpy`` pair gates
+  the vectorized topology layer.  The large scale runs at the paper's
+  figure-8 network size (3000 nodes), where path generation dominated
+  pipeline setup before the CSR backend.
 * ``fig8-compare`` -- one comparison step of the figure-8 pipeline: the four
   source-routing baselines replayed over one workload with epoch-batched
   dispatch, once per execution backend; the ``python``/``numpy`` pair gates
@@ -48,6 +54,9 @@ SCALES: Dict[str, Dict[str, object]] = {
         "arrival_rate": 10.0,
         "placement_method": "exact",
         "candidate_fraction": 0.2,
+        "pathgen_nodes": 200,
+        "pathgen_pairs": 12,
+        "pathgen_k": 3,
     },
     "medium": {
         "pairs": 300,
@@ -58,6 +67,9 @@ SCALES: Dict[str, Dict[str, object]] = {
         "arrival_rate": 15.0,
         "placement_method": "greedy",
         "candidate_fraction": 0.2,
+        "pathgen_nodes": 1000,
+        "pathgen_pairs": 10,
+        "pathgen_k": 5,
     },
     "large": {
         "pairs": 1200,
@@ -68,6 +80,9 @@ SCALES: Dict[str, Dict[str, object]] = {
         "arrival_rate": 20.0,
         "placement_method": "greedy",
         "candidate_fraction": 0.15,
+        "pathgen_nodes": 3000,
+        "pathgen_pairs": 10,
+        "pathgen_k": 5,
     },
 }
 
@@ -198,6 +213,76 @@ def _scenario_run_spec(scale: str) -> BenchmarkSpec:
         inner=1,
         meta={"nodes": nodes, "duration": duration, "arrival_rate": arrival_rate},
     )
+
+
+# ---------------------------------------------------------------------- #
+# path generation
+# ---------------------------------------------------------------------- #
+class _PathGenerationState:
+    """A figure-8-family topology plus a seeded pair sample.
+
+    Each call regenerates the full per-pair Table-II path catalog (all four
+    selectors at the scale's ``k``) on the chosen graph backend -- the
+    setup work one compare-shard worker performs before routing anything.
+    Balances are skewed by seeded transfers first so the widest-path and
+    heuristic selectors rank over non-degenerate liquidity.
+    """
+
+    def __init__(self, nodes: int, pairs: int, k: int, backend: str) -> None:
+        # Imported lazily: the suites module predates the routing selectors.
+        from repro.routing.paths import PATH_SELECTORS
+
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=8,
+            rewire_probability=0.25,
+            uniform_channel_size=200.0,
+            candidate_fraction=0.08,
+            seed=29,
+        )
+        rng = np.random.default_rng(31)
+        for channel in self.network.channels():
+            channel.transfer(
+                channel.node_a, float(rng.uniform(0.0, 0.9 * channel.balance(channel.node_a)))
+            )
+        node_list = self.network.nodes()
+        sampled = []
+        while len(sampled) < pairs:
+            source = node_list[int(rng.integers(len(node_list)))]
+            target = node_list[int(rng.integers(len(node_list)))]
+            if source != target:
+                sampled.append((source, target))
+        self.pairs = sampled
+        self.k = k
+        self.backend = backend
+        self.selectors = [PATH_SELECTORS[name] for name in ("ksp", "heuristic", "edw", "eds")]
+
+    def step(self) -> None:
+        for source, target in self.pairs:
+            for selector in self.selectors:
+                selector(self.network, source, target, self.k, backend=self.backend)
+
+
+def _path_generation_specs(scale: str) -> List[BenchmarkSpec]:
+    params = SCALES[scale]
+    nodes = int(params["pathgen_nodes"])
+    pairs = int(params["pathgen_pairs"])
+    k = int(params["pathgen_k"])
+    specs = []
+    for backend in ("python", "numpy"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"path-generation/{scale}/{backend}",
+                group="path-generation",
+                scale=scale,
+                variant=backend,
+                setup=lambda backend=backend: _PathGenerationState(nodes, pairs, k, backend),
+                fn=lambda state: state.step(),
+                inner=1,
+                meta={"nodes": nodes, "pairs": pairs, "k": k},
+            )
+        )
+    return specs
 
 
 # ---------------------------------------------------------------------- #
@@ -335,6 +420,7 @@ def build_suite(scale: str) -> List[BenchmarkSpec]:
     return [
         *_routing_step_specs(scale),
         _scenario_run_spec(scale),
+        *_path_generation_specs(scale),
         *_fig8_compare_specs(scale),
         *_placement_specs(scale),
     ]

@@ -75,6 +75,10 @@ class PlacementCompareSpec:
         seeds: Base seeds; each seed generates an independent topology.
         backend: Execution backend of every solve
             (``"python"`` | ``"numpy"``).
+        hop_cache_dir: Directory of the persistent hop-matrix cache shared
+            by shard workers (``None`` disables it).  The cache is
+            transparent -- probed hop counts are identical with or without
+            it -- so the field stays out of the resume fingerprint.
     """
 
     scale: str
@@ -83,6 +87,7 @@ class PlacementCompareSpec:
     omegas: List[float] = field(default_factory=lambda: list(DEFAULT_OMEGAS))
     seeds: List[int] = field(default_factory=lambda: [1])
     backend: str = "numpy"
+    hop_cache_dir: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -180,7 +185,24 @@ def execute_place_run(
     omega = float(overrides["omega"])
 
     network = build_place_network(spec_dict, seed)
-    problem = build_problem(network, omega=omega, backend=spec.backend)
+    hops = None
+    hop_cache = "off"
+    if spec.hop_cache_dir:
+        # Shards sharing a seed probe the identical hop-count matrix; the
+        # persistent store lets (method x omega) siblings skip the probe.
+        from repro.topology.path_store import HopMatrixStore
+
+        store = HopMatrixStore(spec.hop_cache_dir, network.topology_fingerprint())
+        hops = store.load()
+        hop_cache = "hit" if hops is not None else "miss"
+        if hops is None:
+            candidates = network.candidates()
+            node_order, matrix = network.hop_count_rows(candidates)
+            store.save(node_order, candidates, matrix)
+            from repro.topology.path_store import hop_dicts_from_rows
+
+            hops = hop_dicts_from_rows(node_order, candidates, matrix)
+    problem = build_problem(network, omega=omega, backend=spec.backend, hops=hops)
     solver_seed = derive_seed(seed, "place-solver")
     started = time.perf_counter()
     if method == "greedy-descent":
@@ -209,6 +231,7 @@ def execute_place_run(
         "synchronization_cost": round(plan.synchronization_cost, 6),
         "balance_cost": round(plan.balance_cost, 6),
         "solve_seconds": round(solve_seconds, 4),
+        "hop_cache": hop_cache,
     }
 
 

@@ -219,6 +219,8 @@ def cost_model_from_network(
     delta_per_hop: float = PAPER_DELTA_PER_HOP,
     epsilon_per_hop: float = PAPER_EPSILON_PER_HOP,
     uniform_delta: bool = False,
+    hops: Optional[Dict[NodeId, Dict[NodeId, int]]] = None,
+    backend: Optional[str] = None,
 ) -> PlacementCostModel:
     """Probe hop-count based costs from a PCN, as the candidates do in the paper.
 
@@ -232,15 +234,31 @@ def cost_model_from_network(
         uniform_delta: Replace the hop-based delta with its mean value, which
             makes the objective provably supermodular (Lemma 2's uniform-cost
             case) -- used by the large-scale approximation experiments.
+        hops: Pre-probed per-candidate hop-count dicts (e.g. from the
+            figure-9 pipeline's persistent :class:`HopMatrixStore`); must
+            cover every candidate.  ``None`` probes the network.
+        backend: Probe backend: ``"numpy"`` runs one batched
+            ``scipy.sparse.csgraph`` sweep over all candidates, ``"python"``
+            the per-candidate networkx BFS.  ``None`` follows the network's
+            default; hop counts are identical either way.
     """
     client_list = list(clients) if clients is not None else network.clients()
     candidate_list = list(candidates) if candidates is not None else network.candidates()
     if not candidate_list:
         raise ValueError("the network has no candidate smooth nodes")
 
-    hop_from_candidate: Dict[NodeId, Dict[NodeId, int]] = {
-        candidate: network.hop_counts_from(candidate) for candidate in candidate_list
-    }
+    if hops is not None:
+        hop_from_candidate = {candidate: hops[candidate] for candidate in candidate_list}
+    elif network.resolve_backend(backend) == "numpy":
+        from repro.topology.path_store import hop_dicts_from_rows
+
+        node_order, matrix = network.hop_count_rows(candidate_list)
+        hop_from_candidate = hop_dicts_from_rows(node_order, candidate_list, matrix)
+    else:
+        hop_from_candidate: Dict[NodeId, Dict[NodeId, int]] = {
+            candidate: network.hop_counts_from(candidate, backend="python")
+            for candidate in candidate_list
+        }
     fallback_hops = max(network.node_count(), 2)
 
     zeta: Dict[NodeId, Dict[NodeId, float]] = {}

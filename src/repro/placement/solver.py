@@ -185,13 +185,21 @@ def build_problem(
     candidates: Optional[Sequence[NodeId]] = None,
     uniform_delta: bool = False,
     backend: str = "numpy",
+    hops: Optional[dict] = None,
 ) -> PlacementProblem:
-    """Construct a placement problem from a PCN with the paper's cost model."""
+    """Construct a placement problem from a PCN with the paper's cost model.
+
+    ``hops`` optionally injects pre-probed per-candidate hop-count dicts
+    (the figure-9 pipeline's persistent hop-matrix cache); otherwise the
+    probe runs on ``backend`` (batched csgraph sweep for ``numpy``).
+    """
     cost_model = cost_model_from_network(
         network,
         clients=clients,
         candidates=candidates,
         uniform_delta=uniform_delta,
+        hops=hops,
+        backend=backend,
     )
     return PlacementProblem(cost_model, omega=omega, backend=backend)
 

@@ -10,6 +10,13 @@ Four path types are evaluated by the paper:
 All selectors operate on the current spendable balances of a
 :class:`~repro.topology.network.PCNetwork`, i.e. the directional liquidity a
 sender could actually push through the path right now.
+
+Every selector takes the repo-wide ``backend="python"|"numpy"`` knob
+(defaulting to the network's own backend): ``python`` runs the networkx
+walks below -- the readable scalar reference -- while ``numpy`` dispatches
+to the CSR ports in :mod:`repro.topology.graph_backend`, which return the
+identical path lists (order and tie-breaks included; pinned by
+``tests/topology/test_graph_backend_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,18 +37,28 @@ PathSelector = Callable[[PCNetwork, NodeId, NodeId, int], List[Path]]
 _HEURISTIC_CANDIDATE_POOL = 20
 
 
-def k_shortest_paths(network: PCNetwork, source: NodeId, target: NodeId, k: int) -> List[Path]:
+def k_shortest_paths(
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    backend: Optional[str] = None,
+) -> List[Path]:
     """Up to ``k`` loop-free shortest paths by hop count (the KSP column)."""
     if k <= 0 or source == target:
         return []
     try:
-        return network.shortest_paths(source, target, k)
+        return network.shortest_paths(source, target, k, backend=backend)
     except (nx.NetworkXNoPath, nx.NodeNotFound):
         return []
 
 
 def heuristic_widest_paths(
-    network: PCNetwork, source: NodeId, target: NodeId, k: int
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    backend: Optional[str] = None,
 ) -> List[Path]:
     """Pick the ``k`` candidate paths with the highest bottleneck funds.
 
@@ -50,7 +67,20 @@ def heuristic_widest_paths(
     """
     if k <= 0 or source == target:
         return []
-    pool = k_shortest_paths(network, source, target, max(k, _HEURISTIC_CANDIDATE_POOL))
+    pool = k_shortest_paths(
+        network, source, target, max(k, _HEURISTIC_CANDIDATE_POOL), backend=backend
+    )
+    if network.resolve_backend(backend) == "numpy":
+        arrays = network.graph_arrays()
+        arrays.refresh_balances()
+        capacities = arrays.path_capacities(pool)
+        # Same stable descending order as the scalar ``sorted(..., reverse=True)``.
+        ranked = [
+            path for _, path in sorted(
+                zip(capacities, pool), key=lambda item: item[0], reverse=True
+            )
+        ]
+        return ranked[:k]
     ranked = sorted(pool, key=lambda path: network.path_capacity(path), reverse=True)
     return ranked[:k]
 
@@ -103,11 +133,17 @@ def _widest_path(
 
 
 def edge_disjoint_widest_paths(
-    network: PCNetwork, source: NodeId, target: NodeId, k: int
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    backend: Optional[str] = None,
 ) -> List[Path]:
     """Up to ``k`` edge-disjoint widest paths (the EDW column, Splicer's default)."""
     if k <= 0 or source == target:
         return []
+    if network.resolve_backend(backend) == "numpy":
+        return network.graph_arrays().edge_disjoint_widest_paths(source, target, k)
     graph = network.graph
     excluded: Set[frozenset] = set()
     paths: List[Path] = []
@@ -122,11 +158,17 @@ def edge_disjoint_widest_paths(
 
 
 def edge_disjoint_shortest_paths(
-    network: PCNetwork, source: NodeId, target: NodeId, k: int
+    network: PCNetwork,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    backend: Optional[str] = None,
 ) -> List[Path]:
     """Up to ``k`` edge-disjoint shortest (fewest hops) paths (the EDS column)."""
     if k <= 0 or source == target:
         return []
+    if network.resolve_backend(backend) == "numpy":
+        return network.graph_arrays().edge_disjoint_shortest_paths(source, target, k)
     working = nx.Graph(network.graph.edges())
     paths: List[Path] = []
     for _ in range(k):
@@ -147,6 +189,7 @@ def landmark_paths(
     target: NodeId,
     k: int,
     landmarks: Sequence[NodeId],
+    backend: Optional[str] = None,
 ) -> List[Path]:
     """Paths through well-connected landmark nodes (landmark-routing baseline).
 
@@ -162,8 +205,8 @@ def landmark_paths(
         if len(paths) >= k:
             break
         try:
-            first_leg = network.shortest_path(source, landmark)
-            second_leg = network.shortest_path(landmark, target)
+            first_leg = network.shortest_path(source, landmark, backend=backend)
+            second_leg = network.shortest_path(landmark, target, backend=backend)
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             continue
         combined = list(first_leg) + list(second_leg[1:])

@@ -231,7 +231,13 @@ class RateRouter:
         cached = self._path_cache.get(pair)
         if cached is not None and now - cached[1] < self.config.path_refresh_interval:
             return cached[0]
-        raw = self._select_paths(self.network, pair[0], pair[1], self.config.path_count)
+        # The selector follows the router's backend knob: the scalar
+        # reference router stays end-to-end scalar, the numpy router rides
+        # the CSR graph backend (identical paths either way).
+        raw = self._select_paths(
+            self.network, pair[0], pair[1], self.config.path_count,
+            backend=self.config.backend,
+        )
         paths = [tuple(path) for path in raw]
         self._path_cache[pair] = (paths, now)
         if paths:

@@ -32,8 +32,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 #: Bumped when a row layout changes; rows with another version are ignored
-#: by resume so stale files never mask new work.
-RESULT_SCHEMA_VERSION = 1
+#: by resume so stale files never mask new work.  Version 2: the phased
+#: workload generator changed every seed's request stream and the metric
+#: dicts grew p90/p99 tail-delay keys -- pre-change rows are neither
+#: comparable nor complete, so resume must re-run them.
+RESULT_SCHEMA_VERSION = 2
 
 
 def load_result_rows(path: str, schema_version: int = RESULT_SCHEMA_VERSION) -> List[Dict[str, object]]:

@@ -45,8 +45,10 @@ __all__ = [
 ]
 
 #: Spec fields that expand or label the grid rather than parameterize a run;
-#: changing them must not invalidate already-completed runs.
-_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description")
+#: changing them must not invalidate already-completed runs.  The path-cache
+#: directory is excluded because the cache is transparent: a run produces
+#: bit-identical rows with or without it.
+_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir")
 
 
 def spec_fingerprint(spec_dict: Dict[str, object]) -> str:
@@ -93,9 +95,22 @@ def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[
     if overrides:
         spec = spec.with_overrides(overrides)
     runner, schemes = spec.build_experiment(seed)
+    store = None
+    if spec.path_cache_dir:
+        # Shards sharing a seed build the identical topology; the persistent
+        # catalog store lets them share per-pair path computations.  It is
+        # transparent (identical paths, identical metrics), so rows do not
+        # depend on cache warmth -- only the reported hit counters do.
+        from repro.topology.path_store import PathCatalogStore
+
+        store = PathCatalogStore(
+            spec.path_cache_dir, runner.network.topology_fingerprint()
+        )
+        for scheme in schemes:
+            scheme.attach_path_store(store)
     rng = np.random.default_rng(derive_seed(seed, "schemes"))
     result = runner.run(schemes, rng=rng)
-    return {
+    row = {
         "schema_version": RESULT_SCHEMA_VERSION,
         "run_key": run_key(spec.name, seed, overrides, spec_fingerprint(spec_dict)),
         "scenario": spec.name,
@@ -105,6 +120,10 @@ def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[
         "workload_value": round(result.workload_value, 3),
         "metrics": {name: metrics.as_dict() for name, metrics in result.metrics.items()},
     }
+    if store is not None:
+        store.save()
+        row["path_cache"] = store.stats()
+    return row
 
 
 class ScenarioRunReport(GridRunReport):

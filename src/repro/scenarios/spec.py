@@ -311,6 +311,10 @@ class ScenarioSpec:
             ``{"workload.value_scale": [1, 2, 4]}``; the runner executes the
             full Cartesian product for every seed.
         step_size / drain_time: Experiment-runner stepping parameters.
+        path_cache_dir: Directory of the persistent path-catalog cache
+            shared by shard workers (``None`` disables it).  The cache is
+            transparent -- results are bit-identical with or without it --
+            so the field stays out of the runner's resume fingerprint.
     """
 
     name: str
@@ -325,6 +329,7 @@ class ScenarioSpec:
     grid: Dict[str, List[object]] = field(default_factory=dict)
     step_size: float = 0.1
     drain_time: float = 4.0
+    path_cache_dir: Optional[str] = None
 
     # -- serialization ------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:

@@ -37,7 +37,12 @@ class SimulationEngine:
 
         Replaying a workload schedules thousands of arrival events up front;
         loading them through one ``heapify`` is O(n) instead of the O(n log n)
-        of per-event pushes.  Returns the number of events scheduled.
+        of per-event pushes.  A batch larger than the *live* queue is merged
+        the same way -- extend then re-heapify, O(n + m) -- while a small
+        batch against a big queue keeps the O(m log n) per-event pushes
+        (re-heapifying the whole queue would cost more than the pushes
+        save).  Heap layout does not affect pop order: events are totally
+        ordered by ``(time, sequence)``.  Returns the number scheduled.
         """
         batch = list(events)
         for event in batch:
@@ -47,6 +52,9 @@ class SimulationEngine:
                 )
         if not self._queue:
             self._queue = batch
+            heapq.heapify(self._queue)
+        elif len(batch) > len(self._queue):
+            self._queue.extend(batch)
             heapq.heapify(self._queue)
         else:
             for event in batch:

@@ -40,6 +40,9 @@ class SchemeMetrics:
         average_delay: Mean completion latency (seconds) including the
             scheme's extra per-payment delay; 0.0 when nothing completed.
         median_delay: Median completion latency.
+        p90_delay: 90th-percentile completion latency -- the tail the
+            paper's delay plots actually compare (0.0 when nothing completed).
+        p99_delay: 99th-percentile completion latency.
         overhead_messages: Total control-plane messages (probes, management,
             synchronization).
         transfer_hops: Total channel hops traversed by delivered units.
@@ -57,6 +60,8 @@ class SchemeMetrics:
     normalized_throughput: float = 0.0
     average_delay: float = 0.0
     median_delay: float = 0.0
+    p90_delay: float = 0.0
+    p99_delay: float = 0.0
     overhead_messages: float = 0.0
     transfer_hops: int = 0
     fees_paid: float = 0.0
@@ -75,6 +80,8 @@ class SchemeMetrics:
             "normalized_throughput": round(self.normalized_throughput, 4),
             "average_delay": round(self.average_delay, 4),
             "median_delay": round(self.median_delay, 4),
+            "p90_delay": round(self.p90_delay, 4),
+            "p99_delay": round(self.p99_delay, 4),
             "overhead_messages": round(self.overhead_messages, 1),
             "transfer_hops": self.transfer_hops,
             "fees_paid": round(self.fees_paid, 4),
@@ -147,8 +154,14 @@ class MetricsCollector:
         """Produce the aggregated metrics."""
         success_ratio = self.completed_count / self.generated_count if self.generated_count else 0.0
         throughput = self.completed_value / self.generated_value if self.generated_value else 0.0
-        average_delay = float(np.mean(self.delays)) if self.delays else 0.0
-        median_delay = float(np.median(self.delays)) if self.delays else 0.0
+        if self.delays:
+            delays = np.asarray(self.delays)
+            average_delay = float(np.mean(delays))
+            median_delay = float(np.median(delays))
+            p90_delay = float(np.percentile(delays, 90))
+            p99_delay = float(np.percentile(delays, 99))
+        else:
+            average_delay = median_delay = p90_delay = p99_delay = 0.0
         return SchemeMetrics(
             scheme=self.scheme,
             generated_count=self.generated_count,
@@ -160,6 +173,8 @@ class MetricsCollector:
             normalized_throughput=throughput,
             average_delay=average_delay,
             median_delay=median_delay,
+            p90_delay=p90_delay,
+            p99_delay=p99_delay,
             overhead_messages=self.overhead_messages,
             transfer_hops=self.transfer_hops,
             fees_paid=self.fees_paid,

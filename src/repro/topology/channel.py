@@ -108,6 +108,13 @@ class PaymentChannel:
 
     _id_counter = itertools.count()
 
+    #: Class-wide counter bumped on every spendable-balance mutation of any
+    #: channel.  Balance mirrors (the graph backend's balance vector) compare
+    #: it against the value they last synchronized at and skip the O(E)
+    #: re-read when nothing moved; cross-network bumps only cause a spurious
+    #: refresh, never staleness.
+    balance_epoch = 0
+
     def __init__(
         self,
         node_a: NodeId,
@@ -125,6 +132,7 @@ class PaymentChannel:
         self.node_a = node_a
         self.node_b = node_b
         self._balances: Dict[NodeId, float] = {node_a: float(balance_a), node_b: float(balance_b)}
+        PaymentChannel.balance_epoch += 1
         self._initial_balances: Dict[NodeId, float] = dict(self._balances)
         self._locks: Dict[int, ChannelLock] = {}
         self._lock_counter = itertools.count()
@@ -218,6 +226,7 @@ class PaymentChannel:
         self._balances[sender] -= amount
         if self._balances[sender] < 0:
             self._balances[sender] = 0.0
+        PaymentChannel.balance_epoch += 1
         self._locks[lock_id] = ChannelLock(lock_id, sender, float(amount), now, tag)
         self.stats.locks_created += 1
         self.stats.max_locked = max(self.stats.max_locked, self.locked_total())
@@ -229,6 +238,7 @@ class PaymentChannel:
         lock = self._pop_lock(lock_id)
         receiver = self.other(lock.sender)
         self._balances[receiver] += lock.amount
+        PaymentChannel.balance_epoch += 1
         self.stats.locks_settled += 1
         self.stats.volume_settled += lock.amount
         self.stats.record_imbalance(self.imbalance())
@@ -239,6 +249,7 @@ class PaymentChannel:
         self._check_open()
         lock = self._pop_lock(lock_id)
         self._balances[lock.sender] += lock.amount
+        PaymentChannel.balance_epoch += 1
         self.stats.locks_released += 1
         return lock.amount
 
@@ -265,6 +276,7 @@ class PaymentChannel:
         spendable = self._balances[self.node_a] + self._balances[self.node_b]
         self._balances[self.node_a] = spendable * target_ratio
         self._balances[self.node_b] = spendable * (1.0 - target_ratio)
+        PaymentChannel.balance_epoch += 1
 
     def close(self) -> Dict[NodeId, float]:
         """Close the channel, releasing outstanding locks back to their senders.
@@ -294,6 +306,18 @@ class PaymentChannel:
         if self._locks:
             raise ChannelError("cannot restore a channel with in-flight locks")
         self._balances = {node: float(amount) for node, amount in balances.items()}
+        PaymentChannel.balance_epoch += 1
+
+    def balance_pair(self) -> Tuple[float, float]:
+        """Both spendable balances ``(node_a's, node_b's)`` in one call.
+
+        Read primitive for array mirrors (the graph backend's balance
+        vector, the baselines' balance arrays) that re-read every channel at
+        synchronization points; one attribute walk instead of two
+        member-checked :meth:`balance` calls.
+        """
+        balances = self._balances
+        return balances[self.node_a], balances[self.node_b]
 
     def write_balances(self, balance_a: float, balance_b: float) -> None:
         """Overwrite the spendable balances without touching in-flight locks.
@@ -311,6 +335,7 @@ class PaymentChannel:
             raise ValueError("spendable balances must be non-negative")
         self._balances[self.node_a] = float(balance_a)
         self._balances[self.node_b] = float(balance_b)
+        PaymentChannel.balance_epoch += 1
 
     # ------------------------------------------------------------------ #
     # helpers

@@ -1,0 +1,613 @@
+"""Array-backed graph kernels: the topology layer's ``numpy`` backend.
+
+The topology queries behind every path selector -- BFS hop counts,
+(bidirectional) shortest paths, Yen's k-shortest enumeration and the
+widest-path Dijkstra -- walk networkx's dict-of-dicts structures in the
+scalar reference.  At paper scale those walks dominate the setup phase of
+the comparison pipelines: each worker process re-derives a per-pair path
+catalog hop by hop before routing a single payment.  This module mirrors
+the channel graph into dense CSR structures once per ``topology_version``
+and reimplements the queries on top:
+
+* :class:`GraphArrays` -- CSR adjacency arrays plus per-node neighbor/slot
+  lists in the exact networkx adjacency order (which is what makes
+  tie-breaks reproducible), a per-directed-edge spendable-balance vector
+  refreshed from the channel objects on demand, and a ``scipy.sparse``
+  matrix feeding the batched ``csgraph`` BFS distance kernels,
+* batched distance queries -- ``hop_counts_from`` / ``all_pairs`` /
+  multi-source probes run as single C-level ``scipy.sparse.csgraph``
+  sweeps instead of per-source Python BFS,
+* faithful ports of the exact algorithms networkx runs for the scalar
+  reference: the bidirectional BFS of ``nx.shortest_path`` (with the
+  ignore-node/ignore-edge filters of ``shortest_simple_paths``), Yen's
+  algorithm with the same ``PathBuffer`` tie-breaking, and this repo's
+  widest-path Dijkstra from :mod:`repro.routing.paths` with the same
+  heap-counter ordering.  Path enumeration is order-sensitive (the next
+  expansion depends on the previous tie-break), so these kernels run as
+  tight loops over dense int rows, precomputed adjacency lists and the
+  flat balance vector -- no per-hop channel-object or edge-dict lookups.
+
+Every port reproduces the scalar tie-breaks *by construction* (same
+neighbor iteration order, same heap keys, same first-meet detection), so
+path lists are identical across backends -- enforced by
+``tests/topology/test_graph_backend_equivalence.py``.  The scalar code in
+:class:`~repro.topology.network.PCNetwork` and
+:mod:`repro.routing.paths` stays the readable reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from heapq import heappop, heappush
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+from repro.topology.channel import PaymentChannel
+
+NodeId = Hashable
+
+#: "No predecessor" sentinel of the dense predecessor lists.
+_ROOT = -1
+
+#: Adjacency structure of the path kernels: per-node neighbor rows plus the
+#: pre-joined ``(neighbor, slot)`` tuple lists, both in networkx adjacency
+#: order (the unfiltered BFS iterates the former, filtered loops the latter).
+Adjacency = Tuple[List[List[int]], List[List[Tuple[int, int]]]]
+
+
+def topology_fingerprint(network) -> str:
+    """A short stable hash of the channel graph's node and *adjacency* order.
+
+    Keys the persistent path-catalog cache: two networks with the same
+    fingerprint produce identical topology-dependent path catalogs (KSP,
+    EDS, landmark legs), whatever process computed them.  The hash covers
+    the per-node neighbor order, not just the edge set, because networkx
+    path tie-breaks follow adjacency iteration order: closing and reopening
+    a channel leaves the edge set intact but moves the edge to the back of
+    both endpoints' adjacency, which can flip equal-length path choices.
+    Balances stay out of the hash -- balance-dependent selectors are never
+    persisted.
+    """
+    graph = network.graph
+    parts = []
+    for node in graph.nodes:
+        parts.append(repr(node))
+        parts.append("\x1f".join(repr(neighbor) for neighbor in graph.adj[node]))
+    material = "\x1e".join(parts)
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+class GraphArrays:
+    """Dense mirror of one topology version of a :class:`PCNetwork`.
+
+    Built lazily by :meth:`PCNetwork.graph_arrays` and discarded whenever
+    ``topology_version`` moves (the PR-3 invalidation convention), so the
+    adjacency structure is always current.  Directional spendable balances
+    are *not* topology-keyed: :meth:`refresh_balances` re-reads every
+    channel and is called by any query that prices liquidity (the
+    widest-path and heuristic selectors do so on entry, mirroring the
+    scalar code's live reads).
+    """
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.version = network.topology_version
+        graph = network.graph
+
+        self.node_ids: List[NodeId] = list(graph.nodes)
+        self.node_row: Dict[NodeId, int] = {
+            node: row for row, node in enumerate(self.node_ids)
+        }
+        n = len(self.node_ids)
+
+        #: Per-node neighbor rows / directed-edge slots, networkx adjacency
+        #: order.  A *slot* is the directed hop's position in the flattened
+        #: adjacency -- the shared key of the balance vector, the exclusion
+        #: masks of the disjoint-path selectors and the path resolution maps.
+        #: ``pairs`` pre-joins the two (one ``(neighbor, slot)`` tuple list
+        #: per node) for the hot loops.
+        self.adjacency: List[List[int]] = [[] for _ in range(n)]
+        self.slots: List[List[int]] = [[] for _ in range(n)]
+        self.slot_of: Dict[Tuple[int, int], int] = {}
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        flat: List[int] = []
+        for row, node in enumerate(self.node_ids):
+            neighbors = self.adjacency[row]
+            slot_list = self.slots[row]
+            for neighbor in graph.adj[node]:
+                neighbor_row = self.node_row[neighbor]
+                self.slot_of[(row, neighbor_row)] = len(flat)
+                slot_list.append(len(flat))
+                neighbors.append(neighbor_row)
+                flat.append(neighbor_row)
+            indptr[row + 1] = len(flat)
+        self.pairs: List[List[Tuple[int, int]]] = [
+            list(zip(self.adjacency[row], self.slots[row])) for row in range(n)
+        ]
+        self.indptr = indptr
+        self.indices = np.asarray(flat, dtype=np.intp)
+        self.slot_count = len(flat)
+
+        #: Spendable balance of the directed hop at each slot, refreshed from
+        #: the channel objects by :meth:`refresh_balances`.  A flat Python
+        #: list: the widest-path kernel reads it element-wise millions of
+        #: times, where unboxed-float list access beats ndarray item access.
+        self.balance: List[float] = [0.0] * self.slot_count
+        self._balance_epoch = -1
+        self._balance_sources: List[Tuple[object, int, int]] = []
+        for channel in network.channels():
+            node_a, node_b = channel.endpoints
+            row_a, row_b = self.node_row[node_a], self.node_row[node_b]
+            self._balance_sources.append(
+                (channel, self.slot_of[(row_a, row_b)], self.slot_of[(row_b, row_a)])
+            )
+
+        #: Unit-weight sparse matrix for the batched csgraph distance kernels.
+        self.sparse = csr_matrix(
+            (np.ones(self.slot_count), self.indices, self.indptr), shape=(n, n)
+        )
+
+        # The EDS working graph (``nx.Graph(network.graph.edges())``) orders
+        # each node's neighbors by edge-*insertion* order of the rebuilt
+        # graph, which differs from the primary adjacency; built on demand.
+        self._working: Optional[Tuple[Adjacency, Dict[Tuple[int, int], int]]] = None
+
+        # Stamped BFS scratch, reused across every bidirectional search on
+        # this mirror: an entry is valid only when its stamp matches the
+        # current search's, so no per-call clearing or allocation is needed.
+        self._pred_val: List[int] = [0] * n
+        self._pred_stamp: List[int] = [0] * n
+        self._succ_val: List[int] = [0] * n
+        self._succ_stamp: List[int] = [0] * n
+        self._bfs_stamp = 0
+        #: Stands in for an absent edge filter when only a node filter is
+        #: given, so the filtered loops never test for ``None`` per edge.
+        self._zero_edge_mask = bytearray(max(self.slot_count, 1))
+
+    # ------------------------------------------------------------------ #
+    # synchronization
+    # ------------------------------------------------------------------ #
+    def refresh_balances(self) -> None:
+        """Re-read every channel's directional spendable balances.
+
+        Gated on :attr:`PaymentChannel.balance_epoch`: when no channel
+        anywhere mutated a balance since the last refresh, the O(E) re-read
+        is skipped -- which is what lets back-to-back selector calls on a
+        quiescent network amortize one synchronization.
+        """
+        epoch = PaymentChannel.balance_epoch
+        if epoch == self._balance_epoch:
+            return
+        balance = self.balance
+        for channel, slot_ab, slot_ba in self._balance_sources:
+            balance[slot_ab], balance[slot_ba] = channel.balance_pair()
+        self._balance_epoch = epoch
+
+    @property
+    def node_count(self) -> int:
+        """Number of node rows."""
+        return len(self.node_ids)
+
+    def row_of(self, node: NodeId) -> int:
+        """Dense row of a node; raises ``nx.NodeNotFound`` like networkx.
+
+        Keeps the backends exception-compatible: the selectors catch
+        ``(NetworkXNoPath, NodeNotFound)``, so an unknown node (a stale
+        external pair list, a removed landmark) degrades to "no paths" on
+        both backends instead of crashing only on this one.
+        """
+        row = self.node_row.get(node)
+        if row is None:
+            raise nx.NodeNotFound(f"node {node!r} is not in the graph")
+        return row
+
+    def rows_of(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """Dense rows of a node sequence (``nx.NodeNotFound`` on unknown nodes)."""
+        return np.asarray([self.row_of(node) for node in nodes], dtype=np.intp)
+
+    def to_nodes(self, rows: Sequence[int]) -> List[NodeId]:
+        """Node ids of a row sequence."""
+        node_ids = self.node_ids
+        return [node_ids[row] for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # batched distance kernels (scipy csgraph)
+    # ------------------------------------------------------------------ #
+    def distances_from(self, rows: Sequence[int]) -> np.ndarray:
+        """Hop-count rows from the given sources; ``inf`` marks unreachable.
+
+        One C-level call whatever the source count -- this is the batched
+        BFS the placement cost probe and ``all_pairs_hop_counts`` ride on.
+        """
+        rows = list(rows)
+        if self.node_count == 0:
+            return np.zeros((len(rows), 0))
+        result = _csgraph_dijkstra(
+            self.sparse, directed=True, unweighted=True, indices=rows
+        )
+        return np.atleast_2d(result)
+
+    def hop_count(self, source: NodeId, target: NodeId) -> int:
+        """Hops on a shortest path; raises ``nx.NetworkXNoPath`` when disconnected."""
+        rows = self._bidirectional_path_rows(self.row_of(source), self.row_of(target))
+        return len(rows) - 1
+
+    def hop_counts_from(self, source: NodeId) -> Dict[NodeId, int]:
+        """Hop count to every reachable node (same mapping as the scalar BFS)."""
+        distances = self.distances_from([self.row_of(source)])[0]
+        reachable = np.nonzero(np.isfinite(distances))[0]
+        node_ids = self.node_ids
+        return {node_ids[row]: int(distances[row]) for row in reachable}
+
+    # ------------------------------------------------------------------ #
+    # bidirectional BFS (port of networkx's `_bidirectional_pred_succ`)
+    # ------------------------------------------------------------------ #
+    def _bidirectional_path_rows(
+        self,
+        source: int,
+        target: int,
+        ignore_nodes: Optional[bytearray] = None,
+        ignore_edges: Optional[bytearray] = None,
+        adjacency: Optional[Adjacency] = None,
+    ) -> List[int]:
+        """One shortest path as a row list (the ``nx.shortest_path`` port).
+
+        A line-for-line port of networkx's ``_bidirectional_pred_succ`` over
+        dense rows: the same fringe alternation rule, the same adjacency
+        iteration order, the same first-meet return -- which is what pins
+        every downstream tie-break.  Predecessor/successor state lives in
+        stamped scratch lists reused across calls (no per-call allocation,
+        no hashing), and the node/edge filters of the Yen spur searches are
+        flat bytearray masks indexed by row and directed-edge slot.
+        Raises ``nx.NetworkXNoPath`` when the pair is disconnected.
+        """
+        if source == target:
+            return [source]
+        if ignore_nodes is not None and (ignore_nodes[source] or ignore_nodes[target]):
+            raise nx.NetworkXNoPath(f"No path between row {source} and row {target}.")
+        adj, pair_lists = adjacency if adjacency is not None else (self.adjacency, self.pairs)
+        if ignore_nodes is not None and ignore_edges is None:
+            ignore_edges = self._zero_edge_mask
+        pred_val, pred_stamp = self._pred_val, self._pred_stamp
+        succ_val, succ_stamp = self._succ_val, self._succ_stamp
+        self._bfs_stamp += 1
+        stamp = self._bfs_stamp
+        pred_val[source] = _ROOT
+        pred_stamp[source] = stamp
+        succ_val[target] = _ROOT
+        succ_stamp[target] = stamp
+        forward = [source]
+        reverse = [target]
+        meet = -1
+        while forward and reverse and meet < 0:
+            if len(forward) <= len(reverse):
+                this_level, forward = forward, []
+                fringe, mine_val, mine_stamp, other_stamp = (
+                    forward, pred_val, pred_stamp, succ_stamp,
+                )
+            else:
+                this_level, reverse = reverse, []
+                fringe, mine_val, mine_stamp, other_stamp = (
+                    reverse, succ_val, succ_stamp, pred_stamp,
+                )
+            if ignore_edges is None:
+                for v in this_level:
+                    for w in adj[v]:
+                        if mine_stamp[w] != stamp:
+                            fringe.append(w)
+                            mine_stamp[w] = stamp
+                            mine_val[w] = v
+                        if other_stamp[w] == stamp:
+                            meet = w
+                            break
+                    if meet >= 0:
+                        break
+            elif ignore_nodes is None:
+                for v in this_level:
+                    for w, slot in pair_lists[v]:
+                        if ignore_edges[slot]:
+                            continue
+                        if mine_stamp[w] != stamp:
+                            fringe.append(w)
+                            mine_stamp[w] = stamp
+                            mine_val[w] = v
+                        if other_stamp[w] == stamp:
+                            meet = w
+                            break
+                    if meet >= 0:
+                        break
+            else:
+                for v in this_level:
+                    for w, slot in pair_lists[v]:
+                        if ignore_edges[slot] or ignore_nodes[w]:
+                            continue
+                        if mine_stamp[w] != stamp:
+                            fringe.append(w)
+                            mine_stamp[w] = stamp
+                            mine_val[w] = v
+                        if other_stamp[w] == stamp:
+                            meet = w
+                            break
+                    if meet >= 0:
+                        break
+        if meet < 0:
+            raise nx.NetworkXNoPath(f"No path between row {source} and row {target}.")
+        path: List[int] = []
+        row = meet
+        while row != _ROOT:
+            path.append(row)
+            row = pred_val[row]
+        path.reverse()
+        row = succ_val[meet]
+        while row != _ROOT:
+            path.append(row)
+            row = succ_val[row]
+        return path
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> List[NodeId]:
+        """One shortest path between two nodes (identical to the scalar's)."""
+        rows = self._bidirectional_path_rows(self.row_of(source), self.row_of(target))
+        return self.to_nodes(rows)
+
+    # ------------------------------------------------------------------ #
+    # Yen's algorithm (port of networkx's `shortest_simple_paths`)
+    # ------------------------------------------------------------------ #
+    def k_shortest_paths(self, source: NodeId, target: NodeId, k: int) -> List[List[NodeId]]:
+        """Up to ``k`` loop-free shortest paths, in networkx's exact order.
+
+        Raises ``nx.NetworkXNoPath`` when the pair is disconnected (like the
+        first pull on the scalar generator).  The ``PathBuffer`` tie-break
+        -- a ``(cost, push counter)`` heap with whole-path deduplication --
+        is replicated verbatim.
+        """
+        if k <= 0:
+            return []
+        source_row = self.row_of(source)
+        target_row = self.row_of(target)
+        slot_of = self.slot_of
+        results: List[List[int]] = []
+        list_a: List[List[int]] = []
+        heap: List[Tuple[int, int, List[int]]] = []
+        queued: Set[Tuple[int, ...]] = set()
+        counter = itertools.count()
+        prev_path: Optional[List[int]] = None
+
+        def push(cost: int, path: List[int]) -> None:
+            key = tuple(path)
+            if key not in queued:
+                heappush(heap, (cost, next(counter), path))
+                queued.add(key)
+
+        while True:
+            if not prev_path:
+                path = self._bidirectional_path_rows(source_row, target_row)
+                push(len(path), path)
+            else:
+                ignore_nodes = bytearray(self.node_count)
+                ignore_edges = bytearray(self.slot_count)
+                # Paths sharing the current root are found by *incremental*
+                # prefix filtering: ``listed[:i] == prev_path[:i]`` holds iff
+                # it held at ``i - 1`` and the ``i - 1``-th nodes agree, so
+                # each round narrows the previous round's matches instead of
+                # re-comparing whole slices (all listed paths share
+                # ``prev_path[0]``, the source).
+                matching = list_a
+                for i in range(1, len(prev_path)):
+                    anchor = prev_path[i - 1]
+                    matching = [
+                        listed for listed in matching
+                        if len(listed) > i and listed[i - 1] == anchor
+                    ]
+                    for listed in matching:
+                        ignore_edges[slot_of[(listed[i - 1], listed[i])]] = 1
+                        ignore_edges[slot_of[(listed[i], listed[i - 1])]] = 1
+                    try:
+                        spur = self._bidirectional_path_rows(
+                            prev_path[i - 1], target_row, ignore_nodes, ignore_edges
+                        )
+                        push(i + len(spur), prev_path[: i - 1] + spur)
+                    except nx.NetworkXNoPath:
+                        pass
+                    ignore_nodes[prev_path[i - 1]] = 1
+            if heap:
+                _, _, path = heappop(heap)
+                queued.remove(tuple(path))
+                results.append(path)
+                list_a.append(path)
+                prev_path = path
+                if len(results) >= k:
+                    break
+            else:
+                break
+        return [self.to_nodes(path) for path in results]
+
+    # ------------------------------------------------------------------ #
+    # widest paths (port of `repro.routing.paths._widest_path`)
+    # ------------------------------------------------------------------ #
+    def _widest_path_rows(self, source: int, target: int) -> Optional[List[int]]:
+        """Maximum-bottleneck path over the balance vector, scalar tie-breaks.
+
+        The heap keys ``(-width, counter, row)`` replicate the scalar
+        implementation's push order (consecutive counters per improved
+        neighbor, adjacency order), so equal-width ties pop in the same
+        sequence; reading directional liquidity is one flat-list index
+        instead of an edge-dict walk and a channel method call per hop.
+
+        Two scalar checks are provably redundant and elided from the inner
+        loop, shrinking it to its relaxation core:
+
+        * *excluded edges* -- the caller zeroes excluded slots in the
+          balance vector instead (restoring them afterwards); a zero-width
+          hop fails the strict improvement test exactly like the scalar's
+          explicit exclusion/`available <= 0` skips,
+        * *visited neighbors* -- non-stale pop widths are non-increasing,
+          so a visited neighbor's settled width is always >= any later
+          ``new_width`` and the improvement test fails on its own.
+        """
+        pair_lists, balance = self.pairs, self.balance
+        push, pop = heappush, heappop
+        n = self.node_count
+        # best_width / previous as dense lists: 0.0 doubles as the scalar
+        # dict's missing-key default (assigned widths are strictly positive),
+        # _ROOT as "no predecessor".
+        best_width = [0.0] * n
+        best_width[source] = float("inf")
+        previous = [_ROOT] * n
+        # Heap entries are (-width, counter): the counter is the scalar
+        # reference's push counter (so equal-width ties pop in push order)
+        # and doubles as the index into the push-order node list.
+        pushed_node = [source]
+        heap: List[Tuple[float, int]] = [(-float("inf"), 0)]
+        visited = bytearray(n)
+        while heap:
+            negative_width, counter = pop(heap)
+            node = pushed_node[counter]
+            if visited[node]:
+                continue
+            visited[node] = 1
+            if node == target:
+                break
+            width = -negative_width
+            for w, slot in pair_lists[node]:
+                available = balance[slot]
+                new_width = available if available < width else width
+                if new_width > best_width[w]:
+                    best_width[w] = new_width
+                    previous[w] = node
+                    push(heap, (-new_width, len(pushed_node)))
+                    pushed_node.append(w)
+        if best_width[target] <= 0.0 or previous[target] == _ROOT and target != source:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+    def edge_disjoint_widest_paths(
+        self, source: NodeId, target: NodeId, k: int
+    ) -> List[List[NodeId]]:
+        """Up to ``k`` edge-disjoint widest paths (the EDW selector's backend)."""
+        self.refresh_balances()
+        # Mirror the scalar reference's unknown-node shape: an unknown
+        # source raises (graph.neighbors does), an unknown target is simply
+        # never reached by the search.
+        source_row = self.row_of(source)
+        target_row = self.node_row.get(target)
+        if target_row is None:
+            return []
+        slot_of = self.slot_of
+        balance = self.balance
+        # Edge-disjointness is enforced by zeroing used slots in the balance
+        # vector (see _widest_path_rows); originals are restored on exit so
+        # the shared vector stays authoritative for other queries.
+        zeroed: List[Tuple[int, float]] = []
+        paths: List[List[NodeId]] = []
+        try:
+            for _ in range(k):
+                rows = self._widest_path_rows(source_row, target_row)
+                if rows is None or len(rows) < 2:
+                    break
+                paths.append(self.to_nodes(rows))
+                for a, b in zip(rows, rows[1:]):
+                    for slot in (slot_of[(a, b)], slot_of[(b, a)]):
+                        zeroed.append((slot, balance[slot]))
+                        balance[slot] = 0.0
+        finally:
+            for slot, value in reversed(zeroed):
+                balance[slot] = value
+        return paths
+
+    def path_capacities(self, paths: Sequence[Sequence[NodeId]]) -> List[float]:
+        """Bottleneck spendable funds of each path over the balance vector.
+
+        Callers refresh balances first; values equal
+        :meth:`PCNetwork.path_capacity` on live hops (missing hops zero the
+        path, exactly like the scalar walk).
+        """
+        capacities: List[float] = []
+        slot_of, balance, node_row = self.slot_of, self.balance, self.node_row
+        for path in paths:
+            if len(path) < 2:
+                capacities.append(0.0)
+                continue
+            bottleneck = float("inf")
+            for a, b in zip(path, path[1:]):
+                slot = slot_of.get((node_row[a], node_row[b]))
+                if slot is None:
+                    bottleneck = 0.0
+                    break
+                available = balance[slot]
+                if available < bottleneck:
+                    bottleneck = available
+            capacities.append(bottleneck)
+        return capacities
+
+    # ------------------------------------------------------------------ #
+    # edge-disjoint shortest paths (port of the EDS selector's working graph)
+    # ------------------------------------------------------------------ #
+    def _working_adjacency(self) -> Tuple[Adjacency, Dict[Tuple[int, int], int]]:
+        """Adjacency of ``nx.Graph(network.graph.edges())``, in its order.
+
+        The scalar EDS selector rebuilds the graph from the edge iterator,
+        which re-orders each node's neighbors by edge-insertion order of the
+        rebuilt graph; replicating that order is what keeps the BFS
+        tie-breaks identical.  Nodes without channels are absent from the
+        rebuilt graph -- callers treat them as unreachable.
+        """
+        if self._working is not None:
+            return self._working
+        n = self.node_count
+        lists: List[List[int]] = [[] for _ in range(n)]
+        emitted = [False] * n
+        for row in range(n):
+            for neighbor in self.adjacency[row]:
+                if not emitted[neighbor]:
+                    lists[row].append(neighbor)
+                    lists[neighbor].append(row)
+            emitted[row] = True
+        pair_lists: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        slot_of: Dict[Tuple[int, int], int] = {}
+        next_slot = 0
+        for row, neighbors in enumerate(lists):
+            for neighbor in neighbors:
+                slot_of[(row, neighbor)] = next_slot
+                pair_lists[row].append((neighbor, next_slot))
+                next_slot += 1
+        self._working = ((lists, pair_lists), slot_of)
+        return self._working
+
+    def edge_disjoint_shortest_paths(
+        self, source: NodeId, target: NodeId, k: int
+    ) -> List[List[NodeId]]:
+        """Up to ``k`` edge-disjoint shortest paths (the EDS selector's backend)."""
+        adjacency, slot_of = self._working_adjacency()
+        source_row = self.node_row.get(source)
+        target_row = self.node_row.get(target)
+        # Unknown and channel-less nodes do not exist in the scalar working
+        # graph (NodeNotFound there, caught into a loop exit either way).
+        if source_row is None or target_row is None:
+            return []
+        if not adjacency[0][source_row] or not adjacency[0][target_row]:
+            return []
+        removed = bytearray(self.slot_count)
+        paths: List[List[NodeId]] = []
+        for _ in range(k):
+            try:
+                rows = self._bidirectional_path_rows(
+                    source_row, target_row, ignore_edges=removed, adjacency=adjacency
+                )
+            except nx.NetworkXNoPath:
+                break
+            if len(rows) < 2:
+                break
+            paths.append(self.to_nodes(rows))
+            for a, b in zip(rows, rows[1:]):
+                removed[slot_of[(a, b)]] = 1
+                removed[slot_of[(b, a)]] = 1
+        return paths

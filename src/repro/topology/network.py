@@ -6,20 +6,34 @@ a *role* (``"client"``, ``"candidate"`` or ``"hub"``).  It provides the graph
 queries the placement and routing layers need: hop counts, shortest paths,
 per-direction liquidity views and snapshot/restore of all channel balances so
 that a single topology can be replayed under several routing schemes.
+
+The path/distance helpers run on one of two execution backends behind the
+repo-wide ``backend="python"|"numpy"`` knob: the networkx walks below are
+the scalar reference, and :mod:`repro.topology.graph_backend` mirrors the
+graph into CSR arrays (rebuilt lazily whenever ``topology_version`` moves)
+for ``scipy.sparse.csgraph``-batched BFS and array-backed path search with
+identical results, tie-breaks included.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.topology.channel import NodeId, PaymentChannel
+
+if TYPE_CHECKING:  # imported lazily to keep module import light
+    from repro.topology.graph_backend import GraphArrays
 
 ROLE_CLIENT = "client"
 ROLE_CANDIDATE = "candidate"
 ROLE_HUB = "hub"
 _VALID_ROLES = (ROLE_CLIENT, ROLE_CANDIDATE, ROLE_HUB)
+
+#: Execution backends of the path/distance helpers.
+VALID_BACKENDS = ("python", "numpy")
 
 
 class PCNetwork:
@@ -28,14 +42,24 @@ class PCNetwork:
     The container is deliberately independent of any routing scheme; routing
     and placement code read liquidity and topology through this API and only
     mutate state through channel operations.
+
+    Args:
+        backend: Default execution backend of the path/distance helpers
+            (``"numpy"`` mirrors the graph into CSR arrays, ``"python"``
+            walks networkx structures); every helper also takes a per-call
+            override.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str = "numpy") -> None:
+        if backend not in VALID_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {VALID_BACKENDS}")
         self._graph = nx.Graph()
         #: Bumped on every channel addition/removal.  Fast-path layers (path
         #: catalogs, balance array mirrors) key their caches on this counter
         #: so topology dynamics invalidate them without explicit wiring.
         self.topology_version = 0
+        self.backend = backend
+        self._graph_arrays: Optional["GraphArrays"] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -181,31 +205,94 @@ class PCNetwork:
     # ------------------------------------------------------------------ #
     # path / distance helpers
     # ------------------------------------------------------------------ #
-    def hop_count(self, source: NodeId, target: NodeId) -> int:
+    def resolve_backend(self, backend: Optional[str] = None) -> str:
+        """The effective backend of one call (per-call override or default)."""
+        resolved = backend or self.backend
+        if resolved not in VALID_BACKENDS:
+            raise ValueError(f"unknown backend {resolved!r}; expected one of {VALID_BACKENDS}")
+        return resolved
+
+    def graph_arrays(self) -> "GraphArrays":
+        """The CSR mirror of the current topology version.
+
+        Rebuilt lazily whenever ``topology_version`` moves, following the
+        repo-wide invalidation convention; balance freshness is the mirror's
+        own concern (see :meth:`GraphArrays.refresh_balances`).
+        """
+        from repro.topology.graph_backend import GraphArrays
+
+        cached = self._graph_arrays
+        if cached is None or cached.version != self.topology_version:
+            cached = GraphArrays(self)
+            self._graph_arrays = cached
+        return cached
+
+    def topology_fingerprint(self) -> str:
+        """Stable hash of the node and edge sets (persistent-cache key)."""
+        from repro.topology.graph_backend import topology_fingerprint
+
+        return topology_fingerprint(self)
+
+    def hop_count(self, source: NodeId, target: NodeId, backend: Optional[str] = None) -> int:
         """Number of hops on the shortest path from ``source`` to ``target``.
 
         Raises ``networkx.NetworkXNoPath`` if the nodes are disconnected.
         """
         if source == target:
             return 0
+        if self.resolve_backend(backend) == "numpy":
+            return self.graph_arrays().hop_count(source, target)
         return nx.shortest_path_length(self._graph, source, target)
 
-    def hop_counts_from(self, source: NodeId) -> Dict[NodeId, int]:
+    def hop_counts_from(self, source: NodeId, backend: Optional[str] = None) -> Dict[NodeId, int]:
         """Hop count from ``source`` to every reachable node."""
+        if self.resolve_backend(backend) == "numpy":
+            return self.graph_arrays().hop_counts_from(source)
         return dict(nx.single_source_shortest_path_length(self._graph, source))
 
-    def all_pairs_hop_counts(self) -> Dict[NodeId, Dict[NodeId, int]]:
+    def all_pairs_hop_counts(
+        self, backend: Optional[str] = None
+    ) -> Dict[NodeId, Dict[NodeId, int]]:
         """Hop-count matrix for the whole network (BFS from every node)."""
+        if self.resolve_backend(backend) == "numpy":
+            arrays = self.graph_arrays()
+            node_ids = arrays.node_ids
+            distances = arrays.distances_from(range(len(node_ids)))
+            result: Dict[NodeId, Dict[NodeId, int]] = {}
+            for row, source in enumerate(node_ids):
+                reachable = np.nonzero(np.isfinite(distances[row]))[0]
+                result[source] = {
+                    node_ids[column]: int(distances[row, column]) for column in reachable
+                }
+            return result
         return {source: lengths for source, lengths in nx.all_pairs_shortest_path_length(self._graph)}
 
-    def shortest_path(self, source: NodeId, target: NodeId) -> List[NodeId]:
+    def hop_count_rows(self, sources: Sequence[NodeId]):
+        """Batched hop counts: ``(node order, distances array)`` for ``sources``.
+
+        One C-level BFS sweep for all sources (the placement cost probe's
+        fast path); row ``i`` holds the hop counts from ``sources[i]`` to
+        every node in the returned node order, ``inf`` where unreachable.
+        """
+        arrays = self.graph_arrays()
+        return list(arrays.node_ids), arrays.distances_from(arrays.rows_of(sources))
+
+    def shortest_path(
+        self, source: NodeId, target: NodeId, backend: Optional[str] = None
+    ) -> List[NodeId]:
         """One shortest (fewest-hops) path between two nodes."""
+        if self.resolve_backend(backend) == "numpy":
+            return self.graph_arrays().shortest_path(source, target)
         return nx.shortest_path(self._graph, source, target)
 
-    def shortest_paths(self, source: NodeId, target: NodeId, k: int) -> List[List[NodeId]]:
+    def shortest_paths(
+        self, source: NodeId, target: NodeId, k: int, backend: Optional[str] = None
+    ) -> List[List[NodeId]]:
         """Up to ``k`` loop-free shortest paths (by hop count) between two nodes."""
         if k <= 0:
             return []
+        if self.resolve_backend(backend) == "numpy":
+            return self.graph_arrays().k_shortest_paths(source, target, k)
         generator = nx.shortest_simple_paths(self._graph, source, target)
         paths: List[List[NodeId]] = []
         for path in generator:
@@ -278,6 +365,7 @@ class PCNetwork:
         candidate_nodes: Optional[Iterable[NodeId]] = None,
         base_fee: float = 0.0,
         fee_rate: float = 0.0,
+        backend: str = "numpy",
     ) -> "PCNetwork":
         """Build a PCN from a plain topology graph with uniform channel sizes.
 
@@ -287,9 +375,10 @@ class PCNetwork:
             candidate_nodes: Nodes to mark as hub candidates (others are clients).
             base_fee: Flat fee applied to every channel.
             fee_rate: Proportional fee applied to every channel.
+            backend: Default path/distance helper backend of the network.
         """
         candidates = set(candidate_nodes or ())
-        network = cls()
+        network = cls(backend=backend)
         for node in graph.nodes:
             role = ROLE_CANDIDATE if node in candidates else ROLE_CLIENT
             network.add_node(node, role=role)

@@ -31,12 +31,15 @@ def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
         "routing-step/small/python",
         "routing-step/small/numpy",
         "scenario-run/small/-",
+        "path-generation/small/python",
+        "path-generation/small/numpy",
         "fig8-compare/small/python",
         "fig8-compare/small/numpy",
         "placement-solver/small/python",
         "placement-solver/small/numpy",
     }
     assert "routing-step/small" in payload["speedups"]
+    assert "path-generation/small" in payload["speedups"]
     assert "fig8-compare/small" in payload["speedups"]
     assert "placement-solver/small" in payload["speedups"]
     assert payload["calibration_seconds"] > 0
@@ -67,3 +70,13 @@ def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
         )
         == 2
     )
+
+
+def test_perf_cli_profile_mode_prints_hot_functions(capsys):
+    assert cli_main(["perf", "--suite", "small", "--profile", "--profile-top", "5"]) == 0
+    output = capsys.readouterr().out
+    # One profile block per benchmark, with pstats' cumulative-time table.
+    assert "=== routing-step/small/python" in output
+    assert "=== path-generation/small/numpy" in output
+    assert "cumulative" in output
+    assert "ncalls" in output

@@ -86,3 +86,31 @@ class TestSchemeMetrics:
         assert row["scheme"] == "x"
         assert row["success_ratio"] == pytest.approx(0.1235)
         assert row["normalized_throughput"] == pytest.approx(0.6543)
+
+
+class TestTailDelays:
+    def test_percentiles_track_the_tail(self):
+        import numpy as np
+
+        collector = MetricsCollector("test")
+        latencies = [0.1 * i for i in range(1, 101)]
+        for latency in latencies:
+            collector.record_generated(1.0)
+            collector.record_completed(_completed_payment(1.0, latency))
+        metrics = collector.finalize()
+        assert metrics.p90_delay == pytest.approx(float(np.percentile(latencies, 90)))
+        assert metrics.p99_delay == pytest.approx(float(np.percentile(latencies, 99)))
+        assert metrics.p99_delay > metrics.p90_delay > metrics.average_delay
+
+    def test_percentiles_zero_without_completions(self):
+        metrics = MetricsCollector("test").finalize()
+        assert metrics.p90_delay == 0.0
+        assert metrics.p99_delay == 0.0
+
+    def test_as_dict_carries_tail_columns(self):
+        collector = MetricsCollector("test")
+        collector.record_generated(1.0)
+        collector.record_completed(_completed_payment(1.0, 2.0))
+        row = collector.finalize().as_dict()
+        assert row["p90_delay"] == pytest.approx(2.0)
+        assert row["p99_delay"] == pytest.approx(2.0)

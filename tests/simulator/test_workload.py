@@ -112,3 +112,54 @@ class TestCircularWorkload:
     def test_needs_two_nodes(self):
         with pytest.raises(ValueError):
             circular_demand_workload(["a"], 1.0, 1, 1.0)
+
+
+class TestBackendEquivalence:
+    """The numpy backend's batched draws must replicate the scalar loop.
+
+    Bit-identity rests on replicating numpy Generator internals (choice's
+    cdf-searchsorted arithmetic, chunked-cumsum accumulation, batched
+    bounded integers); this pin is what catches a numpy release changing
+    any of them.
+    """
+
+    def _streams(self, network, config):
+        python = generate_workload(network, config, backend="python")
+        numpy_ = generate_workload(network, config, backend="numpy")
+        return (
+            [(r.arrival_time, r.sender, r.recipient, r.value) for r in python.requests],
+            [(r.arrival_time, r.sender, r.recipient, r.value) for r in numpy_.requests],
+            python,
+            numpy_,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_bit_identical_request_streams(self, small_ws_network, seed):
+        config = WorkloadConfig(duration=20.0, arrival_rate=25.0, seed=seed)
+        scalar, batched, python, numpy_ = self._streams(small_ws_network, config)
+        assert scalar == batched
+        assert python.deadlock_motifs == numpy_.deadlock_motifs
+
+    def test_bit_identical_without_motifs(self, small_ws_network):
+        config = WorkloadConfig(duration=15.0, arrival_rate=30.0, seed=4, deadlock_fraction=0.0)
+        scalar, batched, *_ = self._streams(small_ws_network, config)
+        assert scalar == batched
+
+    def test_bit_identical_with_heavy_motifs_and_scaling(self, small_ws_network):
+        config = WorkloadConfig(
+            duration=25.0, arrival_rate=40.0, seed=5, deadlock_fraction=0.6, value_scale=2.5
+        )
+        scalar, batched, *_ = self._streams(small_ws_network, config)
+        assert scalar == batched
+
+    def test_bit_identical_across_arrival_chunk_boundary(self, small_ws_network):
+        # More than 1024 arrivals forces the chunked cumsum to carry its
+        # running offset across chunks.
+        config = WorkloadConfig(duration=120.0, arrival_rate=20.0, seed=6)
+        scalar, batched, *_ = self._streams(small_ws_network, config)
+        assert len(scalar) > 1024
+        assert scalar == batched
+
+    def test_unknown_backend_rejected(self, small_ws_network):
+        with pytest.raises(ValueError):
+            generate_workload(small_ws_network, WorkloadConfig(seed=1), backend="fortran")
