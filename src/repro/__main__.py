@@ -12,12 +12,23 @@ Subcommands:
 * ``place-compare`` -- the figure-9 placement pipeline: shard a
   (placement method x omega x seed) sweep over worker processes and print
   one figure-9-shaped table per scale.
+* ``report <results-dir>`` -- summarize a results directory: per-scheme
+  tables, failure-reason breakdown and (for traced runs) epoch health.
+* ``trace <trace-file>`` -- filter and pretty-print a payment trace,
+  including a per-payment ``--timeline`` view.
 * ``perf`` -- run the micro-benchmark suites, emit ``BENCH_<rev>.json`` and
   optionally gate against (``--check``) or rewrite (``--update-baseline``)
   the committed ``benchmarks/perf_baseline.json``.
 
 ``run`` re-invoked with the same arguments performs zero duplicate
 simulation work: completed (scenario, seed, overrides) keys are skipped.
+
+The global ``--log-json`` flag switches every progress/summary line to
+structured JSONL records (see :mod:`repro.obs.log`); ``--verbose`` lowers
+the threshold to debug.  ``run`` and ``compare`` accept ``--trace`` to
+record sampled payment-lifecycle traces plus epoch health telemetry under
+``<results-dir>/obs`` (see :mod:`repro.obs`), and every pipeline records
+what it wrote in ``<results-dir>/manifest.json`` for ``repro report``.
 """
 
 from __future__ import annotations
@@ -30,8 +41,19 @@ import time
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table, scenario_table
+from repro.obs import DEFAULT_SAMPLE_RATE
+from repro.obs.log import INFO, configure, get_logger
+from repro.obs.report import (
+    filter_trace_events,
+    read_trace,
+    render_report,
+    render_timeline,
+    render_trace,
+    update_manifest,
+)
 from repro.placement.compare import (
     PLACE_METHODS,
+    PLACE_SCHEMA_VERSION,
     PLACEMENT_SCALES,
     PlacementCompareRunner,
     build_place_spec,
@@ -43,14 +65,56 @@ from repro.scenarios.registry import (
     get_scenario,
     list_scenarios,
 )
-from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.runner import RESULT_SCHEMA_VERSION, ScenarioRunner
 from repro.scenarios.spec import SchemeSpec
+
+log = get_logger("repro.cli")
+
+
+def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the simulating pipelines."""
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="record sampled payment traces + epoch health telemetry",
+    )
+    sub.add_argument(
+        "--obs-dir",
+        default=None,
+        help="directory for trace/health artifacts (default <results-dir>/obs)",
+    )
+    sub.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        help=f"fraction of payments traced (default {DEFAULT_SAMPLE_RATE})",
+    )
+    sub.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed of the content-addressed sampling hash (default 0)",
+    )
+    sub.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="sim-seconds between epoch health probes; 0 disables (default 1)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Splicer reproduction: scenario orchestration CLI",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also print debug-level log lines"
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit progress/summary lines as JSONL records instead of text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="extra dotted-path override, e.g. --set workload.value_scale=2.0",
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    _add_obs_arguments(run)
 
     compare = commands.add_parser(
         "compare", help="run the figure-8 scheme comparison, sharded over workers"
@@ -135,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the persistent path-catalog cache",
     )
     compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    _add_obs_arguments(compare)
 
     place = commands.add_parser(
         "place-compare",
@@ -190,6 +256,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     place.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
 
+    report = commands.add_parser(
+        "report", help="summarize a results directory (tables, failures, health)"
+    )
+    report.add_argument(
+        "results_dir", help="results directory written by run/compare/place-compare"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="filter and pretty-print a payment-lifecycle trace"
+    )
+    trace.add_argument(
+        "trace_file",
+        help="trace JSONL file, or an obs directory holding trace-*.jsonl shards",
+    )
+    trace.add_argument("--payment", type=int, default=None, help="only this payment id")
+    trace.add_argument(
+        "--channel",
+        default=None,
+        metavar="A,B",
+        help="only lock/contention events touching the A--B channel",
+    )
+    trace.add_argument("--reason", default=None, help="only events with this reason code")
+    trace.add_argument(
+        "--kind", default=None, help="only event kinds containing this substring"
+    )
+    trace.add_argument("--scheme", default=None, help="only this routing scheme's events")
+    trace.add_argument(
+        "--limit", type=int, default=50, help="rows rendered in table mode (default 50)"
+    )
+    trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render --payment as a relative-time lifecycle timeline",
+    )
+
     perf = commands.add_parser("perf", help="run the performance benchmark suites")
     perf.add_argument(
         "--suite",
@@ -227,6 +328,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline file from this run's measurements",
     )
     perf.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print the benchmark report (and gate outcome) as JSON on stdout",
+    )
+    perf.add_argument(
         "--profile",
         action="store_true",
         help="run each benchmark once under cProfile and print the hottest calls",
@@ -245,6 +352,23 @@ def _parse_value(raw: str) -> object:
         return json.loads(raw)
     except json.JSONDecodeError:
         return raw
+
+
+def _obs_settings(args: argparse.Namespace) -> Optional[Dict[str, object]]:
+    """The ``ScenarioSpec.obs`` block described by the CLI flags, if any."""
+    if not getattr(args, "trace", False):
+        return None
+    sample_rate = (
+        DEFAULT_SAMPLE_RATE if args.trace_sample_rate is None else args.trace_sample_rate
+    )
+    if not 0.0 < sample_rate <= 1.0:
+        raise ValueError(f"--trace-sample-rate must be in (0, 1], got {sample_rate}")
+    return {
+        "dir": args.obs_dir or os.path.join(args.results_dir, "obs"),
+        "sample_rate": sample_rate,
+        "trace_seed": args.trace_seed,
+        "health_interval": args.health_interval,
+    }
 
 
 def _spec_with_cli_overrides(args: argparse.Namespace):
@@ -292,23 +416,55 @@ def _command_list() -> int:
         {"scenario": name, "description": description}
         for name, description in list_scenarios().items()
     ]
-    print(format_table(rows))
+    log.info(format_table(rows))
     return 0
 
 
 def _command_show(scenario: str) -> int:
+    # The JSON spec *is* the output artifact, so it owns stdout directly
+    # (it must stay parseable even under --log-json).
     print(json.dumps(get_scenario(scenario).to_dict(), indent=2, sort_keys=True))
     return 0
 
 
+def _record_manifest(
+    results_dir: str,
+    command: str,
+    name: str,
+    results_path: str,
+    schema_version: int,
+    rows: int,
+    obs_dir: Optional[str] = None,
+    table: Optional[str] = None,
+) -> None:
+    """Register one pipeline's outputs in ``<results_dir>/manifest.json``."""
+    entry: Dict[str, object] = {
+        "command": command,
+        "name": name,
+        "results": os.path.basename(results_path),
+        "schema_version": schema_version,
+        "rows": rows,
+    }
+    if obs_dir:
+        entry["obs_dir"] = obs_dir
+    if table:
+        entry["table"] = os.path.basename(table)
+    path = update_manifest(results_dir, entry)
+    log.debug(f"updated manifest {path}", command=command, name=name)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     spec = _spec_with_cli_overrides(args)
+    spec.obs = _obs_settings(args)
     runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
     total = len(spec.expand_runs())
-    print(
+    log.info(
         f"scenario {spec.name!r}: {total} run(s) "
         f"({len(spec.seeds)} seed(s) x {max(total // max(len(spec.seeds), 1), 1)} grid point(s)), "
-        f"{args.workers} worker(s) -> {runner.results_path}"
+        f"{args.workers} worker(s) -> {runner.results_path}",
+        scenario=spec.name,
+        runs=total,
+        workers=args.workers,
     )
 
     started = time.perf_counter()
@@ -316,16 +472,28 @@ def _command_run(args: argparse.Namespace) -> int:
     if not args.quiet:
 
         def progress(row: Dict[str, object]) -> None:
-            print(f"  done {row['run_key']}")
+            log.info(f"  done {row['run_key']}", run_key=row["run_key"])
 
     report = runner.run(on_row=progress)
     elapsed = time.perf_counter() - started
-    print(
+    log.info(
         f"executed {report.executed} run(s), skipped {report.skipped} already-completed, "
-        f"in {elapsed:.1f}s"
+        f"in {elapsed:.1f}s",
+        executed=report.executed,
+        skipped=report.skipped,
+        seconds=round(elapsed, 3),
     )
-    print()
-    print(scenario_table(report.rows))
+    log.info("")
+    log.info(scenario_table(report.rows))
+    _record_manifest(
+        args.results_dir,
+        command="run",
+        name=spec.name,
+        results_path=runner.results_path,
+        schema_version=RESULT_SCHEMA_VERSION,
+        rows=len(report.rows),
+        obs_dir=spec.obs.get("dir") if spec.obs else None,
+    )
     return 0
 
 
@@ -355,13 +523,17 @@ def _command_compare(args: argparse.Namespace) -> int:
             spec.path_cache_dir = args.path_cache_dir or os.path.join(
                 args.results_dir, "path-cache"
             )
+        spec.obs = _obs_settings(args)
         runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
         total = len(spec.expand_runs())
         nodes = spec.topology.params["node_count"]
-        print(
+        log.info(
             f"compare scale {scale!r}: {nodes} nodes, {len(schemes)} scheme(s) x "
             f"{len(seeds)} seed(s) = {total} run(s), {args.workers} worker(s) "
-            f"-> {runner.results_path}"
+            f"-> {runner.results_path}",
+            scale=scale,
+            nodes=nodes,
+            runs=total,
         )
 
         started = time.perf_counter()
@@ -370,33 +542,52 @@ def _command_compare(args: argparse.Namespace) -> int:
 
             def progress(row: Dict[str, object]) -> None:
                 scheme_names = ", ".join(row.get("metrics", {}))
-                print(f"  done seed={row['seed']} scheme={scheme_names}")
+                log.info(
+                    f"  done seed={row['seed']} scheme={scheme_names}",
+                    seed=row["seed"],
+                    schemes=scheme_names,
+                )
 
         report = runner.run(on_row=progress)
         elapsed = time.perf_counter() - started
-        print(
+        log.info(
             f"executed {report.executed} run(s), skipped {report.skipped} "
-            f"already-completed, in {elapsed:.1f}s"
+            f"already-completed, in {elapsed:.1f}s",
+            executed=report.executed,
+            skipped=report.skipped,
+            seconds=round(elapsed, 3),
         )
         cache_rows = [row["path_cache"] for row in report.rows if "path_cache" in row]
         if cache_rows:
             hits = sum(int(entry.get("hits", 0)) for entry in cache_rows)
             misses = sum(int(entry.get("misses", 0)) for entry in cache_rows)
-            print(
+            log.info(
                 f"path-catalog cache: {hits} hit(s), {misses} miss(es) "
-                f"across {len(cache_rows)} run(s) -> {spec.path_cache_dir}"
+                f"across {len(cache_rows)} run(s) -> {spec.path_cache_dir}",
+                hits=hits,
+                misses=misses,
             )
-        print()
+        log.info("")
         title = f"Figure 8 comparison -- scale {scale} ({nodes} nodes, backend {args.backend})"
         table = scenario_table(report.rows)
-        print(title)
-        print("=" * len(title))
-        print(table)
-        print()
+        log.info(title)
+        log.info("=" * len(title))
+        log.info(table)
+        log.info("")
         table_path = os.path.join(args.results_dir, f"fig8-{scale}-{args.backend}.txt")
         with open(table_path, "w", encoding="utf-8") as handle:
             handle.write(f"{title}\n{'=' * len(title)}\n{table}\n")
-        print(f"wrote {table_path}")
+        log.info(f"wrote {table_path}", path=table_path)
+        _record_manifest(
+            args.results_dir,
+            command="compare",
+            name=spec.name,
+            results_path=runner.results_path,
+            schema_version=RESULT_SCHEMA_VERSION,
+            rows=len(report.rows),
+            obs_dir=spec.obs.get("dir") if spec.obs else None,
+            table=table_path,
+        )
     return 0
 
 
@@ -433,11 +624,14 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             )
         runner = PlacementCompareRunner(spec, results_dir=args.results_dir, workers=args.workers)
         total = len(spec.expand_runs())
-        print(
+        log.info(
             f"place-compare scale {scale!r}: {spec.nodes} nodes, "
             f"{len(spec.methods)} method(s) x {len(spec.omegas)} omega(s) x "
             f"{len(seeds)} seed(s) = {total} run(s), {args.workers} worker(s) "
-            f"-> {runner.results_path}"
+            f"-> {runner.results_path}",
+            scale=scale,
+            nodes=spec.nodes,
+            runs=total,
         )
 
         started = time.perf_counter()
@@ -445,38 +639,107 @@ def _command_place_compare(args: argparse.Namespace) -> int:
         if not args.quiet:
 
             def progress(row: Dict[str, object]) -> None:
-                print(
+                log.info(
                     f"  done seed={row['seed']} method={row['method']} "
-                    f"omega={row['omega']} ({row['solve_seconds']}s)"
+                    f"omega={row['omega']} ({row['solve_seconds']}s)",
+                    seed=row["seed"],
+                    method=row["method"],
+                    omega=row["omega"],
                 )
 
         report = runner.run(on_row=progress)
         elapsed = time.perf_counter() - started
-        print(
+        log.info(
             f"executed {report.executed} run(s), skipped {report.skipped} "
-            f"already-completed, in {elapsed:.1f}s"
+            f"already-completed, in {elapsed:.1f}s",
+            executed=report.executed,
+            skipped=report.skipped,
+            seconds=round(elapsed, 3),
         )
         probe_hits = sum(1 for row in report.rows if row.get("hop_cache") == "hit")
         probe_misses = sum(1 for row in report.rows if row.get("hop_cache") == "miss")
         if probe_hits or probe_misses:
-            print(
+            log.info(
                 f"hop-matrix cache: {probe_hits} hit(s), {probe_misses} miss(es) "
-                f"-> {spec.hop_cache_dir}"
+                f"-> {spec.hop_cache_dir}",
+                hits=probe_hits,
+                misses=probe_misses,
             )
-        print()
+        log.info("")
         title = (
             f"Figure 9 placement comparison -- scale {scale} "
             f"({spec.nodes} nodes, backend {args.backend})"
         )
         table = fig9_table(report.rows, spec.methods)
-        print(title)
-        print("=" * len(title))
-        print(table)
-        print()
+        log.info(title)
+        log.info("=" * len(title))
+        log.info(table)
+        log.info("")
         table_path = os.path.join(args.results_dir, f"fig9-{scale}-{args.backend}.txt")
         with open(table_path, "w", encoding="utf-8") as handle:
             handle.write(f"{title}\n{'=' * len(title)}\n{table}\n")
-        print(f"wrote {table_path}")
+        log.info(f"wrote {table_path}", path=table_path)
+        _record_manifest(
+            args.results_dir,
+            command="place-compare",
+            name=runner.results_name,
+            results_path=runner.results_path,
+            schema_version=PLACE_SCHEMA_VERSION,
+            rows=len(report.rows),
+            table=table_path,
+        )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    log.info(render_report(args.results_dir))
+    return 0
+
+
+def _trace_events(path: str) -> List[Dict[str, object]]:
+    """Events of one trace file, or of every shard in an obs directory."""
+    if os.path.isdir(path):
+        import glob as _glob
+
+        shards = sorted(_glob.glob(os.path.join(path, "trace-*.jsonl")))
+        if not shards:
+            raise ValueError(f"no trace-*.jsonl files under {path!r}")
+        events: List[Dict[str, object]] = []
+        for shard in shards:
+            events.extend(read_trace(shard))
+        return events
+    if not os.path.exists(path):
+        raise ValueError(f"trace file {path!r} does not exist")
+    return read_trace(path)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    events = _trace_events(args.trace_file)
+    channel = None
+    if args.channel:
+        endpoints = [part.strip() for part in args.channel.split(",") if part.strip()]
+        if len(endpoints) != 2:
+            raise ValueError(f"--channel expects two endpoints A,B, got {args.channel!r}")
+        channel = endpoints
+    if args.timeline:
+        if args.payment is None:
+            raise ValueError("--timeline requires --payment")
+        # The timeline locates the payment itself; other filters still
+        # narrow which of its events appear.
+        selected = filter_trace_events(
+            events, channel=channel, reason=args.reason, kind=args.kind, scheme=args.scheme
+        )
+        log.info(render_timeline(selected, args.payment))
+        return 0
+    selected = filter_trace_events(
+        events,
+        payment=args.payment,
+        channel=channel,
+        reason=args.reason,
+        kind=args.kind,
+        scheme=args.scheme,
+    )
+    log.info(render_trace(selected, limit=args.limit))
     return 0
 
 
@@ -487,9 +750,14 @@ def _command_perf(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         raise ValueError("--repeats must be at least 1")
+    if args.json_output and args.profile:
+        raise ValueError("--json is not available with --profile")
+    if args.json_output:
+        # The JSON report owns stdout; progress/summary lines move to stderr.
+        configure(stream=sys.stderr)
     scales = ["small", "medium", "large"] if args.suite == "all" else [args.suite]
     specs = build_suites(scales)
-    print(f"perf: {len(specs)} benchmark(s) across suite(s) {', '.join(scales)}")
+    log.info(f"perf: {len(specs)} benchmark(s) across suite(s) {', '.join(scales)}")
 
     if args.profile:
         if args.profile_top < 1:
@@ -498,24 +766,35 @@ def _command_perf(args: argparse.Namespace) -> int:
         return 0
 
     def on_record(record) -> None:
-        print(
+        log.info(
             f"  {record.name:<28} best {record.best_seconds * 1e3:9.3f} ms  "
-            f"normalized {record.normalized:8.3f}"
+            f"normalized {record.normalized:8.3f}",
+            benchmark=record.name,
+            normalized=round(record.normalized, 3),
         )
 
     report = run_specs(specs, repeats=args.repeats, on_record=on_record)
     for key, ratio in report.speedups().items():
-        print(f"  speedup {key:<20} python/numpy = {ratio:.2f}x")
+        log.info(f"  speedup {key:<20} python/numpy = {ratio:.2f}x")
 
     os.makedirs(args.output_dir, exist_ok=True)
     report_path = os.path.join(args.output_dir, default_report_name(report.revision))
     report.write(report_path)
-    print(f"wrote {report_path}")
+    log.info(f"wrote {report_path}", path=report_path)
+
+    def emit_json(check: Optional[Dict[str, object]] = None) -> None:
+        if not args.json_output:
+            return
+        payload = report.as_dict()
+        if check is not None:
+            payload["check"] = check
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
     baseline_path = args.baseline or perf_baseline.DEFAULT_BASELINE_PATH
     if args.update_baseline and not args.check:
         perf_baseline.update_baseline(report, baseline_path)
-        print(f"updated baseline {baseline_path}")
+        log.info(f"updated baseline {baseline_path}", path=baseline_path)
+        emit_json()
         return 0
     if args.check:
         entries = perf_baseline.load_baseline(baseline_path)
@@ -524,9 +803,10 @@ def _command_perf(args: argparse.Namespace) -> int:
                 # Bootstrapping: nothing to gate against yet, so this run
                 # becomes the baseline.
                 perf_baseline.update_baseline(report, baseline_path)
-                print(f"no baseline to check against; created {baseline_path}")
+                log.info(f"no baseline to check against; created {baseline_path}")
+                emit_json()
                 return 0
-            print(f"error: no baseline at {baseline_path}; run --update-baseline first", file=sys.stderr)
+            log.error(f"no baseline at {baseline_path}; run --update-baseline first")
             return 2
         entries = perf_baseline.filter_entries(entries, scales)
         tolerance = perf_baseline.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
@@ -536,7 +816,7 @@ def _command_perf(args: argparse.Namespace) -> int:
             # inflate one measurement pass; regressions must survive an
             # independent re-measurement before they fail the gate.
             retry_names = {name for name, *_ in comparison.regressions}
-            print(f"re-measuring {len(retry_names)} regressed benchmark(s) to rule out noise")
+            log.info(f"re-measuring {len(retry_names)} regressed benchmark(s) to rule out noise")
             retry_specs = [spec for spec in specs if spec.name in retry_names]
             retry = run_specs(retry_specs, repeats=args.repeats)
             by_name = {record.name: record for record in retry.records}
@@ -551,22 +831,40 @@ def _command_perf(args: argparse.Namespace) -> int:
             report.write(report_path)
             comparison = perf_baseline.compare_report(report, entries, tolerance=tolerance)
         for line in comparison.summary_lines():
-            print(line)
+            log.info(line)
         if args.update_baseline:
             # Gate first, refresh second: a regression must never be baked
             # into the baseline it would then hide from.
             if comparison.ok:
                 perf_baseline.update_baseline(report, baseline_path)
-                print(f"updated baseline {baseline_path}")
+                log.info(f"updated baseline {baseline_path}", path=baseline_path)
             else:
-                print("baseline NOT updated: regressions above", file=sys.stderr)
+                log.warning("baseline NOT updated: regressions above")
+        emit_json(
+            {
+                "ok": comparison.ok,
+                "tolerance": comparison.tolerance,
+                "regressions": [
+                    {"name": name, "baseline": base, "current": current, "ratio": ratio}
+                    for name, base, current, ratio in comparison.regressions
+                ],
+                "missing": list(comparison.missing),
+                "new": list(comparison.new),
+            }
+        )
         return 0 if comparison.ok else 1
+    emit_json()
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI dispatcher (exposed for tests)."""
     args = _build_parser().parse_args(argv)
+    configure(
+        mode="jsonl" if args.log_json else "human",
+        level=INFO,
+        verbose=bool(args.verbose),
+    )
     try:
         if args.command == "list":
             return _command_list()
@@ -578,9 +876,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_compare(args)
         if args.command == "place-compare":
             return _command_place_compare(args)
+        if args.command == "report":
+            return _command_report(args)
+        if args.command == "trace":
+            return _command_trace(args)
         return _command_run(args)
     except (KeyError, ValueError) as error:
-        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        log.error(str(error.args[0] if error.args else error))
         return 2
 
 

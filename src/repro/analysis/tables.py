@@ -120,6 +120,50 @@ def scenario_table(result_rows: Sequence[Dict[str, object]]) -> str:
     return format_table(scenario_summary_rows(result_rows))
 
 
+def failure_breakdown_rows(result_rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Aggregate per-reason failure counts into one row per scheme.
+
+    Sums the ``failure_reasons`` mapping each scheme's metrics carry (schema
+    version 3+).  Reason columns are ordered by total count descending so the
+    dominant failure mode reads first; schemes without any recorded reasons
+    (all payments completed, or pre-reason rows) are omitted.
+    """
+    totals: Dict[str, Dict[str, int]] = {}
+    failed: Dict[str, int] = {}
+    for row in result_rows:
+        for scheme, scheme_metrics in row.get("metrics", {}).items():
+            reasons = scheme_metrics.get("failure_reasons")
+            if not isinstance(reasons, dict):
+                continue
+            bucket = totals.setdefault(scheme, {})
+            for reason, count in reasons.items():
+                bucket[reason] = bucket.get(reason, 0) + int(count)
+            failed[scheme] = failed.get(scheme, 0) + int(scheme_metrics.get("failed_count", 0))
+    if not totals:
+        return []
+    reason_totals: Dict[str, int] = {}
+    for bucket in totals.values():
+        for reason, count in bucket.items():
+            reason_totals[reason] = reason_totals.get(reason, 0) + count
+    ordered_reasons = sorted(reason_totals, key=lambda reason: (-reason_totals[reason], reason))
+    return [
+        {
+            "scheme": scheme,
+            "failed": failed.get(scheme, 0),
+            **{reason: bucket.get(reason, 0) for reason in ordered_reasons},
+        }
+        for scheme, bucket in totals.items()
+    ]
+
+
+def failure_table(result_rows: Sequence[Dict[str, object]]) -> str:
+    """Render the per-scheme failure-reason breakdown as an ASCII table."""
+    rows = failure_breakdown_rows(result_rows)
+    if not rows:
+        return "(no failure reasons recorded)"
+    return format_table(rows)
+
+
 def to_csv(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
     """Render dictionaries as CSV text."""
     if not rows:

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.baselines.base import AtomicRoutingMixin, RoutingScheme, SchemeStepReport
 from repro.routing.paths import k_shortest_paths
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.network import PCNetwork
 
@@ -93,7 +93,7 @@ class A2LScheme(AtomicRoutingMixin, RoutingScheme):
             processed += 1
             completion_floor = submitted_at + self.crypto_delay
             if max(now, completion_floor) > payment.deadline:
-                payment.fail()
+                payment.fail(FailureReason.TIMEOUT)
                 report.failed.append(payment)
                 continue
             if self._route_via_hub(network, payment, now):
@@ -106,7 +106,7 @@ class A2LScheme(AtomicRoutingMixin, RoutingScheme):
         still_queued: Deque[Tuple[float, Payment]] = deque()
         for submitted_at, payment in self._queue:
             if now > payment.deadline:
-                payment.fail()
+                payment.fail(FailureReason.TIMEOUT)
                 report.failed.append(payment)
             else:
                 still_queued.append((submitted_at, payment))
@@ -126,7 +126,7 @@ class A2LScheme(AtomicRoutingMixin, RoutingScheme):
             else:
                 path = list(to_hub[0]) + list(from_hub[0][1:])
         if path is None or len(path) < 2:
-            payment.fail()
+            payment.fail(FailureReason.NO_PATH)
             return False
         return self.execute_atomic(network, payment, [path], now)
 

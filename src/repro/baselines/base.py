@@ -29,8 +29,9 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.baselines.batch import AtomicBatchExecutor, CatalogEntry
+from repro.obs import core as obs
 from repro.routing.prices import validate_backend
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.channel import InsufficientFundsError
 from repro.topology.network import PCNetwork
@@ -249,6 +250,9 @@ class AtomicRoutingMixin:
         """
         if self._executor is not None:
             return self._executor.execute(payment, paths, now, entry=entry)
+        rec = obs.RECORDER
+        if rec.enabled and rec.payment_begin(payment):
+            rec.payment_event(payment, "atomic_attempt", now, paths=len(paths))
         usable: List[Tuple[Path, float]] = []
         for raw_path in paths:
             path = tuple(raw_path)
@@ -259,7 +263,13 @@ class AtomicRoutingMixin:
                 usable.append((path, capacity))
         total_capacity = sum(capacity for _, capacity in usable)
         if not usable or total_capacity + 1e-9 < payment.value:
-            payment.fail()
+            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                    capacity=round(total_capacity, 9),
+                )
             return False
 
         # Allocate greedily by capacity, largest first, to minimize split count.
@@ -273,7 +283,13 @@ class AtomicRoutingMixin:
             allocations.append((path, share))
             remaining -= share
         if remaining > 1e-9:
-            payment.fail()
+            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                    unallocated=round(remaining, 9),
+                )
             return False
 
         locks: List[Tuple[object, int]] = []
@@ -285,7 +301,12 @@ class AtomicRoutingMixin:
         except InsufficientFundsError:
             for channel, lock_id in locks:
                 channel.release(lock_id)
-            payment.fail()
+            payment.fail(FailureReason.LOCK_CONTENTION)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.LOCK_CONTENTION.value, released=len(locks),
+                )
             return False
 
         for channel, lock_id in locks:
@@ -298,6 +319,11 @@ class AtomicRoutingMixin:
         unit.path = allocations[0][0]
         payment.record_unit_delivery(unit, completion_time)
         payment.hops_used += sum(len(path) - 1 for path, _ in allocations[1:])
+        if rec.enabled:
+            rec.payment_event(
+                payment, "atomic_settle", now,
+                paths=len(allocations), complete_at=round(completion_time, 9),
+            )
         return True
 
 

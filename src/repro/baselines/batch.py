@@ -42,8 +42,9 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import core as obs
 from repro.routing.state import _MIN_ALLOC, IndexMap, grow_array, grow_array_2d
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.topology.channel import EPS as _EPS
 from repro.topology.network import PCNetwork
 
@@ -333,6 +334,9 @@ class AtomicBatchExecutor:
         """
         balances = self.balances
         balances.ensure_fresh()
+        rec = obs.RECORDER
+        if rec.enabled and rec.payment_begin(payment):
+            rec.payment_event(payment, "atomic_attempt", now, paths=len(paths))
 
         usable: List[Tuple[np.ndarray, np.ndarray, float, int]] = []
         if entry is not None and (
@@ -360,7 +364,13 @@ class AtomicBatchExecutor:
 
         total_capacity = sum(item[2] for item in usable)
         if not usable or total_capacity + _EPS < payment.value:
-            payment.fail()
+            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                    capacity=round(total_capacity, 9),
+                )
             return False
 
         # Allocate greedily by capacity, largest first (stable, like list.sort).
@@ -374,7 +384,13 @@ class AtomicBatchExecutor:
             allocations.append((rows, sides, share, hops))
             remaining -= share
         if remaining > _EPS:
-            payment.fail()
+            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                    unallocated=round(remaining, 9),
+                )
             return False
 
         # Lock phase: sequential subtraction in scalar order; paths may share
@@ -414,7 +430,12 @@ class AtomicBatchExecutor:
                 balance[side, row] += amount
                 balances.touched[row] = True
                 channels[row].stats.locks_released += 1
-            payment.fail()
+            payment.fail(FailureReason.LOCK_CONTENTION)
+            if rec.enabled:
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.LOCK_CONTENTION.value, released=len(applied),
+                )
             return False
 
         # Settle phase: funds arrive on the receiving side of every hop, in
@@ -446,6 +467,11 @@ class AtomicBatchExecutor:
         unit.path = self._path_nodes(first_rows, first_sides)
         payment.record_unit_delivery(unit, completion_time)
         payment.hops_used += sum(hops for _, _, _, hops in allocations[1:])
+        if rec.enabled:
+            rec.payment_event(
+                payment, "atomic_settle", now,
+                paths=len(allocations), complete_at=round(completion_time, 9),
+            )
         return True
 
     def _path_nodes(self, rows: np.ndarray, sides: np.ndarray) -> Path:

@@ -27,7 +27,7 @@ from repro.baselines.base import (
     SourceComputationModel,
 )
 from repro.routing.paths import edge_disjoint_widest_paths, k_shortest_paths
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.network import PCNetwork
 
@@ -127,7 +127,7 @@ class FlashScheme(AtomicRoutingMixin, RoutingScheme):
             pool = self._paths_for_mouse(request.sender, request.recipient)
             paths = [pool[int(self._rng.integers(len(pool)))]] if pool else []
         if not paths:
-            payment.fail()
+            payment.fail(FailureReason.NO_PATH)
             self._report.failed.append(payment)
             return payment
         if self.execute_atomic(network, payment, paths, now):

@@ -22,7 +22,7 @@ from repro.baselines.base import (
     SourceComputationModel,
 )
 from repro.routing.paths import landmark_paths
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.network import PCNetwork
 
@@ -100,7 +100,7 @@ class LandmarkScheme(AtomicRoutingMixin, RoutingScheme):
         paths, entry = self._landmark_paths(request.sender, request.recipient)
         self.control_messages += sum(max(len(path) - 1, 0) for path in paths)
         if not paths:
-            payment.fail()
+            payment.fail(FailureReason.NO_PATH)
             self._report.failed.append(payment)
             return payment
         if self.execute_atomic(network, payment, paths, now, entry=entry):

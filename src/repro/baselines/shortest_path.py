@@ -19,7 +19,7 @@ from repro.baselines.base import (
     SourceComputationModel,
 )
 from repro.routing.paths import k_shortest_paths
-from repro.routing.transaction import Payment
+from repro.routing.transaction import FailureReason, Payment
 from repro.simulator.workload import TransactionRequest
 from repro.topology.network import PCNetwork
 
@@ -68,7 +68,7 @@ class ShortestPathScheme(AtomicRoutingMixin, RoutingScheme):
             paths = k_shortest_paths(network, request.sender, request.recipient, 1)
         self.control_messages += 1  # the sender probes its one path
         if not paths:
-            payment.fail()
+            payment.fail(FailureReason.NO_PATH)
             self._report.failed.append(payment)
             return payment
         if self.execute_atomic(network, payment, paths, now, entry=entry):

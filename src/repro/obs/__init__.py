@@ -1,0 +1,40 @@
+"""Run-wide observability: tracing, health telemetry, structured logging.
+
+Instrumentation sites import the core module directly and read the global
+recorder each time (``from repro.obs import core as obs`` then
+``obs.RECORDER``); this package re-exports the management API everyone
+else needs -- building recorders, installing them, and reading artifacts
+back.
+"""
+
+from repro.obs.core import (
+    DEFAULT_SAMPLE_RATE,
+    NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
+    NullRecorder,
+    RunRecorder,
+    get_recorder,
+    sample_hash,
+    set_recorder,
+    use_recorder,
+)
+from repro.obs.health import HEALTH_SCHEMA_VERSION, HealthRecorder, load_health
+from repro.obs.log import ObsLogger, configure, get_logger
+
+__all__ = [
+    "DEFAULT_SAMPLE_RATE",
+    "HEALTH_SCHEMA_VERSION",
+    "HealthRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsLogger",
+    "RunRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "configure",
+    "get_logger",
+    "get_recorder",
+    "load_health",
+    "sample_hash",
+    "set_recorder",
+    "use_recorder",
+]

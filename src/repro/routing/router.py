@@ -30,12 +30,13 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import core as obs
 from repro.routing.congestion import CongestionController, QueuedUnit
 from repro.routing.paths import get_path_selector
 from repro.routing.prices import PriceTable, validate_backend
 from repro.routing.rate_control import PathRateController
 from repro.routing.scheduling import get_scheduler
-from repro.routing.transaction import Payment, TransactionUnit
+from repro.routing.transaction import FailureReason, Payment, TransactionUnit
 from repro.topology.channel import ChannelError, InsufficientFundsError
 from repro.topology.network import PCNetwork
 
@@ -209,13 +210,18 @@ class RateRouter:
     def submit(self, payment: Payment, now: float) -> RoutingDecision:
         """Accept a payment demand: split it into TUs and queue them for dispatch."""
         cfg = self.config
+        rec = obs.RECORDER
         pair = (payment.sender, payment.recipient)
         paths = self._paths_for(pair, now)
         if not paths:
-            payment.fail()
+            payment.fail(FailureReason.NO_PATH)
+            if rec.enabled and rec.payment_begin(payment):
+                rec.payment_event(payment, "reject", now, reason=FailureReason.NO_PATH.value)
             return RoutingDecision(payment, [], accepted=False, reason="no path")
         if not self.congestion.can_enqueue(payment.sender, payment.value):
-            payment.fail()
+            payment.fail(FailureReason.QUEUE_FULL)
+            if rec.enabled and rec.payment_begin(payment):
+                rec.payment_event(payment, "reject", now, reason=FailureReason.QUEUE_FULL.value)
             return RoutingDecision(payment, paths, accepted=False, reason="queue full")
 
         self._payments[payment.payment_id] = payment
@@ -225,6 +231,8 @@ class RateRouter:
             queue.append(QueuedUnit(unit=unit, enqueued_at=now))
         self.congestion.on_enqueue(payment.sender, payment.value)
         self._refresh_demand_rate(pair, now)
+        if rec.enabled and rec.payment_begin(payment):
+            rec.payment_event(payment, "paths", now, paths=len(paths), units=len(units))
         return RoutingDecision(payment, paths, accepted=True)
 
     def _paths_for(self, pair: Pair, now: float) -> List[Path]:
@@ -313,6 +321,12 @@ class RateRouter:
             payment = self._payments.get(entry.unit.payment_id)
             unit = entry.unit
             unit.path = entry.path
+            rec = obs.RECORDER
+            if rec.enabled:
+                rec.payment_event(
+                    unit.payment_id, "unit_settle", now,
+                    unit=unit.unit_id, value=round(unit.value, 9), fee=round(entry.fee, 9),
+                )
             if payment is not None:
                 payment.record_unit_delivery(unit, now)
                 if payment.is_complete:
@@ -355,9 +369,15 @@ class RateRouter:
         """Account for a unit whose path broke while its locks were in flight."""
         report.aborted_units += 1
         self.congestion.on_abort(entry.path)
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.payment_event(
+                entry.unit.payment_id, "unit_abort", report.now,
+                unit=entry.unit.unit_id, reason=FailureReason.DYNAMICS_RETIRED.value,
+            )
         payment = self._payments.get(entry.unit.payment_id)
         if payment is not None and not payment.is_failed:
-            payment.fail()
+            payment.fail(FailureReason.DYNAMICS_RETIRED)
             report.failed_payments.append(payment)
             self._payments.pop(payment.payment_id, None)
 
@@ -511,6 +531,7 @@ class RateRouter:
         path: Path,
         now: float,
     ) -> bool:
+        rec = obs.RECORDER
         locks: List[Tuple[object, int]] = []
         fee = 0.0
         for sender, receiver in zip(path, path[1:]):
@@ -520,7 +541,17 @@ class RateRouter:
             except InsufficientFundsError:
                 for locked_channel, locked_id in locks:
                     locked_channel.release(locked_id)
+                if rec.enabled:
+                    rec.payment_event(
+                        unit.payment_id, "lock_fail", now,
+                        unit=unit.unit_id, channel=[sender, receiver], released=len(locks),
+                    )
                 return False
+            if rec.enabled:
+                rec.payment_event(
+                    unit.payment_id, "lock", now,
+                    unit=unit.unit_id, channel=[sender, receiver],
+                )
             locks.append((channel, lock_id))
             fee += self.price_table.channel_fee(sender, receiver)
         budget_key = (pair, path)
@@ -532,6 +563,11 @@ class RateRouter:
             _InFlightUnit(unit=unit, path=path, locks=locks, complete_at=complete_at, fee=fee)
         )
         self.congestion.on_dequeue(unit.sender, unit.value)
+        if rec.enabled:
+            rec.payment_event(
+                unit.payment_id, "launch", now,
+                unit=unit.unit_id, path=list(path), complete_at=round(complete_at, 9),
+            )
         return True
 
     def _remove_from_queue(self, pair: Pair, queued: QueuedUnit) -> None:
@@ -566,14 +602,23 @@ class RateRouter:
                         aborted_payments.add(unit.payment_id)
                         self.congestion.on_abort(self._preferred_path(pair))
                     if not payment.is_failed:
-                        payment.fail()
+                        payment.fail(FailureReason.TIMEOUT)
+                        rec = obs.RECORDER
+                        if rec.enabled:
+                            rec.payment_event(
+                                payment, "expire", now,
+                                unit=unit.unit_id, reason=FailureReason.TIMEOUT.value,
+                            )
                         report.failed_payments.append(payment)
                         self._payments.pop(payment.payment_id, None)
         # Payments whose deadline passed while all remaining units are in flight
         # still fail: the recipient only accepts the full demand (section III-A).
         for payment_id, payment in list(self._payments.items()):
             if payment.deadline < now and not payment.is_complete:
-                payment.fail()
+                payment.fail(FailureReason.TIMEOUT)
+                rec = obs.RECORDER
+                if rec.enabled:
+                    rec.payment_event(payment, "expire", now, reason=FailureReason.TIMEOUT.value)
                 report.failed_payments.append(payment)
                 self._payments.pop(payment_id, None)
 

@@ -31,6 +31,24 @@ class PaymentStatus(enum.Enum):
     FAILED = "failed"
 
 
+class FailureReason(str, enum.Enum):
+    """Machine-readable cause attached to a failed payment.
+
+    Every ``Payment.fail`` call site maps to exactly one of these codes; the
+    metrics layer aggregates them into per-scheme failure breakdowns and the
+    trace layer stamps them on terminal ``payment.fail`` spans.  Values are
+    plain strings (``str`` subclass) so they serialize as-is in JSONL rows.
+    """
+
+    NO_PATH = "no-path"
+    QUEUE_FULL = "queue-full"
+    INSUFFICIENT_CAPACITY = "insufficient-capacity"
+    LOCK_CONTENTION = "lock-contention"
+    TIMEOUT = "timeout"
+    DYNAMICS_RETIRED = "dynamics-retired"
+    UNKNOWN = "unknown"
+
+
 _payment_ids = itertools.count()
 _unit_ids = itertools.count()
 
@@ -135,6 +153,9 @@ class Payment:
         delivered_value: Value delivered so far across completed units.
         hops_used: Total channel hops traversed by delivered units (for the
             traffic-overhead metric).
+        failure_reason: Machine-readable failure code (a
+            :class:`FailureReason` value) set by the first ``fail`` call that
+            supplies one; ``None`` while the payment is live or completed.
     """
 
     payment_id: int
@@ -148,6 +169,7 @@ class Payment:
     completed_at: Optional[float] = None
     delivered_value: float = 0.0
     hops_used: int = 0
+    failure_reason: Optional[str] = None
 
     @classmethod
     def create(
@@ -212,10 +234,17 @@ class Payment:
             self.status = PaymentStatus.COMPLETED
             self.completed_at = now
 
-    def fail(self) -> None:
-        """Mark the payment failed (deadline expired or no feasible route)."""
+    def fail(self, reason: Optional["FailureReason"] = None) -> None:
+        """Mark the payment failed, recording the first cause supplied.
+
+        First-cause-wins: a payment aborted for lock contention and later
+        swept by the expiry pass keeps ``lock-contention``.  The reason is
+        stored as its plain string value so it serializes verbatim.
+        """
         if self.status != PaymentStatus.COMPLETED:
             self.status = PaymentStatus.FAILED
+            if reason is not None and self.failure_reason is None:
+                self.failure_reason = FailureReason(reason).value
 
     @property
     def is_complete(self) -> bool:

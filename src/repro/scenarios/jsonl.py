@@ -35,8 +35,11 @@ from typing import Callable, Dict, List, Optional
 #: by resume so stale files never mask new work.  Version 2: the phased
 #: workload generator changed every seed's request stream and the metric
 #: dicts grew p90/p99 tail-delay keys -- pre-change rows are neither
-#: comparable nor complete, so resume must re-run them.
-RESULT_SCHEMA_VERSION = 2
+#: comparable nor complete, so resume must re-run them.  Version 3: metric
+#: dicts grew the ``failure_reasons`` per-reason breakdown (and rows may
+#: carry an ``obs`` artifact digest) -- pre-change rows lack the breakdown
+#: the report command aggregates, so resume must re-run them.
+RESULT_SCHEMA_VERSION = 3
 
 
 def load_result_rows(path: str, schema_version: int = RESULT_SCHEMA_VERSION) -> List[Dict[str, object]]:

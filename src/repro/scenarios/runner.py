@@ -26,6 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import DEFAULT_SAMPLE_RATE, HealthRecorder, RunRecorder, use_recorder
 from repro.scenarios.jsonl import (
     RESULT_SCHEMA_VERSION,
     GridRunReport,
@@ -47,8 +48,10 @@ __all__ = [
 #: Spec fields that expand or label the grid rather than parameterize a run;
 #: changing them must not invalidate already-completed runs.  The path-cache
 #: directory is excluded because the cache is transparent: a run produces
-#: bit-identical rows with or without it.
-_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir")
+#: bit-identical rows with or without it.  Observability is transparent the
+#: same way (sampling decisions never touch a simulation RNG), so enabling
+#: tracing must not re-run a completed sweep either.
+_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir", "obs")
 
 
 def spec_fingerprint(spec_dict: Dict[str, object]) -> str:
@@ -84,6 +87,34 @@ def run_key(
     )
 
 
+def _build_recorder(spec: ScenarioSpec, key: str) -> "RunRecorder":
+    """Build the per-run recorder described by ``spec.obs``.
+
+    Artifact names embed a hash of the run key, so every run of a sharded
+    sweep gets its own ``trace-<hash>.jsonl`` / ``health-<hash>.npz`` pair
+    under the shared directory and parallel workers never collide.
+    """
+    settings = spec.obs or {}
+    directory = str(settings["dir"])
+    os.makedirs(directory, exist_ok=True)
+    token = hashlib.sha256(key.encode()).hexdigest()[:12]
+    trace_seed = int(settings.get("trace_seed", 0))
+    health = None
+    health_interval = float(settings.get("health_interval", 1.0))
+    if health_interval > 0:
+        health = HealthRecorder(
+            path=os.path.join(directory, f"health-{token}.npz"),
+            interval=health_interval,
+            seed=trace_seed,
+        )
+    return RunRecorder(
+        trace_path=os.path.join(directory, f"trace-{token}.jsonl"),
+        sample_rate=float(settings.get("sample_rate", DEFAULT_SAMPLE_RATE)),
+        seed=trace_seed,
+        health=health,
+    )
+
+
 def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[str, object]:
     """Execute one (spec dict, seed, overrides) task and return its result row.
 
@@ -108,11 +139,20 @@ def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[
         )
         for scheme in schemes:
             scheme.attach_path_store(store)
+    key = run_key(spec.name, seed, overrides, spec_fingerprint(spec_dict))
+    recorder = _build_recorder(spec, key) if spec.obs and spec.obs.get("dir") else None
     rng = np.random.default_rng(derive_seed(seed, "schemes"))
-    result = runner.run(schemes, rng=rng)
+    if recorder is not None:
+        try:
+            with use_recorder(recorder):
+                result = runner.run(schemes, rng=rng)
+        finally:
+            recorder.close()
+    else:
+        result = runner.run(schemes, rng=rng)
     row = {
         "schema_version": RESULT_SCHEMA_VERSION,
-        "run_key": run_key(spec.name, seed, overrides, spec_fingerprint(spec_dict)),
+        "run_key": key,
         "scenario": spec.name,
         "seed": seed,
         "overrides": overrides,
@@ -120,6 +160,8 @@ def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[
         "workload_value": round(result.workload_value, 3),
         "metrics": {name: metrics.as_dict() for name, metrics in result.metrics.items()},
     }
+    if recorder is not None:
+        row["obs"] = recorder.summary()
     if store is not None:
         store.save()
         row["path_cache"] = store.stats()

@@ -315,6 +315,15 @@ class ScenarioSpec:
             shared by shard workers (``None`` disables it).  The cache is
             transparent -- results are bit-identical with or without it --
             so the field stays out of the runner's resume fingerprint.
+        obs: Observability settings, or ``None`` (the default) for no
+            recording.  Keys: ``dir`` (artifact directory; per-run trace
+            JSONL and health NPZ files land there), ``sample_rate``
+            (fraction of payments traced), ``trace_seed`` (sampling seed,
+            independent of all simulation seeds) and ``health_interval``
+            (probe period in simulated seconds; 0 disables health probes).
+            Observability is transparent like the path cache -- metrics are
+            bit-identical with it on or off -- so it also stays out of the
+            resume fingerprint.
     """
 
     name: str
@@ -330,6 +339,7 @@ class ScenarioSpec:
     step_size: float = 0.1
     drain_time: float = 4.0
     path_cache_dir: Optional[str] = None
+    obs: Optional[Dict[str, object]] = None
 
     # -- serialization ------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:

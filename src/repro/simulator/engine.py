@@ -98,15 +98,25 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> List[Event]:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        collect_events: bool = False,
+    ) -> List[Event]:
         """Process events in time order.
 
         Args:
             until: Stop once the next event would fire after this time.
             max_events: Stop after processing this many events.
+            collect_events: Accumulate and return handler-less events.  Off by
+                default: a caller that ignores the return value (the
+                experiment runner processes everything through handlers) would
+                otherwise retain every handler-less event for the whole run.
 
         Returns:
-            Events that had no handler (the caller is expected to act on them).
+            Events that had no handler (the caller is expected to act on
+            them) when ``collect_events`` is set; an empty list otherwise.
         """
         unhandled: List[Event] = []
         processed = 0
@@ -120,7 +130,7 @@ class SimulationEngine:
             self.now = max(self.now, event.time)
             if event.handler is not None:
                 event.handler(self, event)
-            else:
+            elif collect_events:
                 unhandled.append(event)
             self.processed_events += 1
             processed += 1

@@ -24,6 +24,7 @@ import numpy as np
 if TYPE_CHECKING:  # imported lazily to keep simulator importable before baselines
     from repro.baselines.base import RoutingScheme, SchemeStepReport
 
+from repro.obs import core as obs
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.events import Event, EventKind
 from repro.simulator.metrics import MetricsCollector, SchemeMetrics
@@ -179,12 +180,22 @@ class ExperimentRunner:
         end_time = self.workload.config.duration + self.drain_time
         pending: List = []
 
+        rec = obs.RECORDER
+        if rec.enabled:
+            rec.set_scheme(scheme.name)
+            rec.trace_event(
+                "run.start", 0.0,
+                end_time=round(end_time, 9), requests=self.workload.count,
+            )
+
         def drain_arrivals() -> None:
             if not pending:
                 return
             batch = list(pending)
             pending.clear()
             collector.record_generated_batch([request.value for request in batch])
+            if rec.enabled:
+                rec.note_batch(scheme.name, len(batch))
             scheme.route_batch(batch)
 
         if self.batch_arrivals:
@@ -202,7 +213,7 @@ class ExperimentRunner:
         def on_tick(_engine: SimulationEngine, _event) -> None:
             drain_arrivals()
             report = scheme.step(_engine.now, self.step_size)
-            self._consume(report, scheme, collector)
+            self._consume(report, scheme, collector, _engine.now)
 
         engine.schedule_many(
             Event(
@@ -222,11 +233,32 @@ class ExperimentRunner:
         )
         events = self.dynamics if dynamics is None else list(dynamics)
         outstanding = self._schedule_dynamics(engine, events, scheme, drain_arrivals)
+        health = rec.health if rec.enabled else None
+        if health is not None:
+            # Scheduled after the tick series so that a probe landing on a
+            # tick's timestamp observes the post-step network.  The probe is
+            # strictly read-only: flushing makes the channel objects
+            # authoritative without changing any scheme decision, so results
+            # stay bit-identical with telemetry on or off.
+            def on_probe(_engine: SimulationEngine, _event) -> None:
+                scheme.flush_state()
+                health.observe(
+                    scheme.name, self.network, _engine.now,
+                    cache_stats=scheme.path_store_stats(),
+                )
+
+            engine.schedule_periodic(
+                start=health.interval,
+                interval=health.interval,
+                end=end_time,
+                kind=EventKind.CUSTOM,
+                handler=on_probe,
+            )
         try:
             engine.run(until=end_time)
             drain_arrivals()
             final_report = scheme.finish(end_time)
-            self._consume(final_report, scheme, collector)
+            self._consume(final_report, scheme, collector, end_time)
         finally:
             # Make the channel objects authoritative again before touching
             # them, then undo mutations still in effect (newest first) so the
@@ -236,6 +268,13 @@ class ExperimentRunner:
                 outstanding.pop(key)()
             scheme.on_network_change()
         collector.add_overhead(scheme.overhead_messages())
+        if rec.enabled:
+            rec.trace_event(
+                "run.end", end_time,
+                completed=collector.completed_count, failed=collector.failed_count,
+                generated=collector.generated_count,
+            )
+            rec.set_scheme(None)
         return collector.finalize()
 
     def _schedule_dynamics(
@@ -265,6 +304,14 @@ class ExperimentRunner:
             scheme.flush_state()
             undo = dynamics_event.apply(self.network)
             scheme.on_network_change()
+            rec = obs.RECORDER
+            if rec.enabled:
+                rec.trace_event(
+                    "dynamics.apply", _engine.now,
+                    event=type(dynamics_event).__name__,
+                    applied=undo is not None,
+                    duration=dynamics_event.duration,
+                )
             if undo is None:
                 return
             key = next(keys)
@@ -280,6 +327,12 @@ class ExperimentRunner:
                     scheme.flush_state()
                     revert()
                     scheme.on_network_change()
+                    inner = obs.RECORDER
+                    if inner.enabled:
+                        inner.trace_event(
+                            "dynamics.revert", _e.now,
+                            event=type(dynamics_event).__name__,
+                        )
 
             _engine.schedule_at(
                 _engine.now + dynamics_event.duration,
@@ -332,11 +385,34 @@ class ExperimentRunner:
         report: SchemeStepReport,
         scheme: RoutingScheme,
         collector: MetricsCollector,
+        now: float,
     ) -> None:
+        """Fold one step report into the collector (and the trace).
+
+        Terminal trace spans are emitted here and only here: interior sites
+        (router, atomic executors) emit detail events, so every sampled
+        payment gets exactly one ``settle``/``fail``.  ``payment_begin`` is
+        idempotent and guarantees the arrival span exists even for payments
+        rejected before any executor saw them.
+        """
+        rec = obs.RECORDER
         for payment in report.completed:
             collector.record_completed(payment, extra_delay=scheme.extra_delay(payment))
+            if rec.enabled and rec.payment_begin(payment):
+                settled_at = payment.completed_at if payment.completed_at is not None else now
+                rec.payment_end(
+                    payment, "settle", settled_at,
+                    value=round(payment.value, 9),
+                    latency=round(payment.latency or 0.0, 9),
+                    hops=payment.hops_used,
+                )
         for payment in report.failed:
             collector.record_failed(payment)
+            if rec.enabled and rec.payment_begin(payment):
+                rec.payment_end(
+                    payment, "fail", now,
+                    reason=payment.failure_reason or "unknown",
+                )
         collector.add_fees(report.fees_paid)
 
 

@@ -47,6 +47,9 @@ class SchemeMetrics:
             synchronization).
         transfer_hops: Total channel hops traversed by delivered units.
         fees_paid: Total forwarding fees collected.
+        failure_reasons: Failed-payment counts keyed by machine-readable
+            reason code (see :class:`repro.routing.transaction.FailureReason`);
+            payments failed without a recorded cause count under ``unknown``.
         extra: Free-form per-scheme diagnostic values.
     """
 
@@ -65,6 +68,7 @@ class SchemeMetrics:
     overhead_messages: float = 0.0
     transfer_hops: int = 0
     fees_paid: float = 0.0
+    failure_reasons: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
@@ -86,6 +90,8 @@ class SchemeMetrics:
             "transfer_hops": self.transfer_hops,
             "fees_paid": round(self.fees_paid, 4),
         }
+        if self.failure_reasons:
+            row["failure_reasons"] = {key: int(count) for key, count in sorted(self.failure_reasons.items())}
         row.update({key: round(value, 4) for key, value in self.extra.items()})
         return row
 
@@ -104,6 +110,7 @@ class MetricsCollector:
         self.overhead_messages = 0.0
         self.transfer_hops = 0
         self.fees_paid = 0.0
+        self.failure_reasons: Dict[str, int] = {}
         self.extra: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -132,8 +139,10 @@ class MetricsCollector:
         self.transfer_hops += payment.hops_used
 
     def record_failed(self, payment: Payment) -> None:
-        """A payment failed or expired."""
+        """A payment failed or expired; its reason code feeds the breakdown."""
         self.failed_count += 1
+        reason = payment.failure_reason or "unknown"
+        self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
 
     def add_overhead(self, messages: float) -> None:
         """Add control-plane messages to the overhead counter."""
@@ -178,5 +187,6 @@ class MetricsCollector:
             overhead_messages=self.overhead_messages,
             transfer_hops=self.transfer_hops,
             fees_paid=self.fees_paid,
+            failure_reasons=dict(self.failure_reasons),
             extra=dict(self.extra),
         )

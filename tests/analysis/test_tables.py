@@ -1,6 +1,12 @@
 """Tests for table rendering."""
 
-from repro.analysis.tables import format_table, result_table, to_csv
+from repro.analysis.tables import (
+    failure_breakdown_rows,
+    failure_table,
+    format_table,
+    result_table,
+    to_csv,
+)
 from repro.simulator.experiment import ExperimentResult
 from repro.simulator.metrics import SchemeMetrics
 
@@ -58,3 +64,49 @@ class TestCsv:
         assert lines[0] == "a,b"
         assert lines[1] == "1,2"
         assert lines[2] == "3,4"
+
+
+class TestFailureBreakdown:
+    @staticmethod
+    def _rows():
+        return [
+            {
+                "metrics": {
+                    "splicer": {"failed_count": 3, "failure_reasons": {"timeout": 2, "no-path": 1}},
+                    "flash": {"failed_count": 4, "failure_reasons": {"insufficient-capacity": 4}},
+                }
+            },
+            {
+                "metrics": {
+                    "splicer": {"failed_count": 1, "failure_reasons": {"timeout": 1}},
+                    "clean": {"failed_count": 0},
+                }
+            },
+        ]
+
+    def test_sums_across_rows_and_orders_by_total(self):
+        rows = failure_breakdown_rows(self._rows())
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["splicer"]["failed"] == 4
+        assert by_scheme["splicer"]["timeout"] == 3
+        assert by_scheme["splicer"]["no-path"] == 1
+        assert by_scheme["flash"]["insufficient-capacity"] == 4
+        # Reason columns ordered by total count descending, then name.
+        columns = [key for key in rows[0] if key not in ("scheme", "failed")]
+        assert columns == ["insufficient-capacity", "timeout", "no-path"]
+
+    def test_schemes_without_reasons_omitted(self):
+        rows = failure_breakdown_rows(self._rows())
+        assert "clean" not in {row["scheme"] for row in rows}
+
+    def test_empty_when_no_reasons_recorded(self):
+        assert failure_breakdown_rows([{"metrics": {"a": {"failed_count": 2}}}]) == []
+        assert failure_breakdown_rows([]) == []
+
+    def test_failure_table_renders(self):
+        text = failure_table(self._rows())
+        assert "insufficient-capacity" in text
+        assert "splicer" in text
+
+    def test_failure_table_placeholder(self):
+        assert failure_table([]) == "(no failure reasons recorded)"

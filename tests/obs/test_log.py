@@ -1,0 +1,82 @@
+"""Tests for the structured logger (:mod:`repro.obs.log`)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import DEBUG, INFO, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_log_config():
+    yield
+    configure(mode="human", level=INFO)
+
+
+def test_human_info_prints_verbatim(capsys):
+    configure(mode="human", level=INFO)
+    get_logger("repro.test").info("plain table line", rows=3)
+    captured = capsys.readouterr()
+    assert captured.out == "plain table line\n"
+    assert captured.err == ""
+
+
+def test_human_warning_and_error_go_to_stderr_with_prefix(capsys):
+    configure(mode="human", level=INFO)
+    log = get_logger("repro.test")
+    log.warning("watch out")
+    log.error("it broke")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "warning: watch out\nerror: it broke\n"
+
+
+def test_debug_suppressed_unless_verbose(capsys):
+    configure(mode="human", level=INFO)
+    log = get_logger("repro.test")
+    log.debug("hidden")
+    assert capsys.readouterr().out == ""
+    configure(verbose=True)
+    log.debug("visible")
+    assert capsys.readouterr().out == "visible\n"
+
+
+def test_quiet_raises_threshold(capsys):
+    configure(mode="human", level=INFO, quiet=True)
+    log = get_logger("repro.test")
+    log.info("hidden")
+    log.warning("still shown")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "still shown" in captured.err
+
+
+def test_jsonl_mode_emits_records_with_fields(capsys):
+    configure(mode="jsonl", level=DEBUG)
+    get_logger("repro.test").info("did a thing", count=2)
+    record = json.loads(capsys.readouterr().out)
+    assert record == {
+        "level": "info",
+        "logger": "repro.test",
+        "msg": "did a thing",
+        "count": 2,
+    }
+
+
+def test_stream_override_redirects_info(capsys):
+    sink = io.StringIO()
+    configure(mode="human", level=INFO, stream=sink)
+    get_logger("repro.test").info("to the sink")
+    assert capsys.readouterr().out == ""
+    assert sink.getvalue() == "to the sink\n"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        configure(mode="xml")
+
+
+def test_get_logger_caches_by_name():
+    assert get_logger("repro.same") is get_logger("repro.same")
+    assert get_logger("repro.same") is not get_logger("repro.other")

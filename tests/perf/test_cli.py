@@ -80,3 +80,58 @@ def test_perf_cli_profile_mode_prints_hot_functions(capsys):
     assert "=== path-generation/small/numpy" in output
     assert "cumulative" in output
     assert "ncalls" in output
+
+
+def test_perf_cli_json_mode_owns_stdout(tmp_path, capsys):
+    out_dir = str(tmp_path / "reports")
+    assert (
+        cli_main(
+            [
+                "perf",
+                "--suite",
+                "small",
+                "--repeats",
+                "1",
+                "--output-dir",
+                out_dir,
+                "--json",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    # stdout is one parseable JSON document; progress lines moved to stderr.
+    payload = json.loads(captured.out)
+    assert payload["schema"] == 1
+    assert {record["name"] for record in payload["records"]} >= {
+        "routing-step/small/python",
+        "routing-step/small/numpy",
+    }
+    assert "wrote" in captured.err
+
+
+def test_perf_cli_json_check_embeds_gate_outcome(tmp_path, capsys):
+    out_dir = str(tmp_path / "reports")
+    baseline = str(tmp_path / "baseline.json")
+    base_args = [
+        "perf",
+        "--suite",
+        "small",
+        "--repeats",
+        "1",
+        "--output-dir",
+        out_dir,
+        "--baseline",
+        baseline,
+    ]
+    assert cli_main(base_args + ["--update-baseline"]) == 0
+    capsys.readouterr()
+    assert cli_main(base_args + ["--check", "--tolerance", "5.0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["check"]["ok"] is True
+    assert payload["check"]["regressions"] == []
+
+
+def test_perf_cli_json_rejects_profile(capsys):
+    assert cli_main(["perf", "--suite", "small", "--json", "--profile"]) == 2
+    assert "--json is not available with --profile" in capsys.readouterr().err

@@ -5,6 +5,7 @@ import pytest
 from repro.routing.transaction import (
     PAPER_MAX_TU,
     PAPER_MIN_TU,
+    FailureReason,
     Payment,
     PaymentStatus,
     split_value,
@@ -144,3 +145,44 @@ class TestTransactionUnit:
         unit = payment.split()[0]
         payment.record_unit_delivery(unit, now=0.5)
         assert not unit.expired(10.0)
+
+
+class TestFailureReason:
+    def test_fail_records_first_cause(self):
+        payment = Payment.create("a", "b", 2.0)
+        payment.fail(FailureReason.NO_PATH)
+        payment.fail(FailureReason.TIMEOUT)
+        assert payment.is_failed
+        assert payment.failure_reason == "no-path"
+
+    def test_fail_without_reason_leaves_reason_unset(self):
+        payment = Payment.create("a", "b", 2.0)
+        payment.fail()
+        assert payment.is_failed
+        assert payment.failure_reason is None
+        # A later attributed fail may still fill in the cause.
+        payment.fail(FailureReason.LOCK_CONTENTION)
+        assert payment.failure_reason == "lock-contention"
+
+    def test_fail_accepts_raw_code_strings(self):
+        payment = Payment.create("a", "b", 2.0)
+        payment.fail("queue-full")
+        assert payment.failure_reason == "queue-full"
+
+    def test_fail_rejects_unknown_codes(self):
+        payment = Payment.create("a", "b", 2.0)
+        with pytest.raises(ValueError):
+            payment.fail("meteor-strike")
+
+    def test_completed_payment_gets_no_reason(self):
+        payment = Payment.create("a", "b", 2.0)
+        unit = payment.split()[0]
+        payment.record_unit_delivery(unit, now=0.5)
+        payment.fail(FailureReason.TIMEOUT)
+        assert payment.is_complete
+        assert payment.failure_reason is None
+
+    def test_reason_values_are_plain_strings(self):
+        for reason in FailureReason:
+            assert isinstance(reason.value, str)
+            assert FailureReason(reason.value) is reason

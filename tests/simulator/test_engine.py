@@ -66,7 +66,7 @@ class TestRun:
     def test_unhandled_events_returned(self):
         engine = SimulationEngine()
         engine.schedule_at(1.0, kind=EventKind.PAYMENT_ARRIVAL, payload="request")
-        unhandled = engine.run()
+        unhandled = engine.run(collect_events=True)
         assert len(unhandled) == 1
         assert unhandled[0].payload == "request"
 
@@ -83,6 +83,14 @@ class TestRun:
         engine.run()
         assert fired == [1.0, 2.0, 3.0]
 
+    def test_unhandled_events_not_retained_by_default(self):
+        # Regression: the runner ignores run()'s return value, so collecting
+        # handler-less events by default would retain them for the whole run.
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, kind=EventKind.PAYMENT_ARRIVAL, payload="request")
+        assert engine.run() == []
+        assert engine.processed_events == 1
+
     def test_stop(self):
         engine = SimulationEngine()
         engine.schedule_at(1.0, handler=lambda e, _ev: e.stop())
@@ -96,7 +104,7 @@ class TestScheduleMany:
         engine = SimulationEngine()
         events = [Event(time=float(t)) for t in (3, 1, 2)]
         assert engine.schedule_many(events) == 3
-        popped = engine.run()
+        popped = engine.run(collect_events=True)
         assert [event.time for event in popped] == [1.0, 2.0, 3.0]
 
     def test_large_batch_merges_into_live_queue_in_order(self):
@@ -108,14 +116,14 @@ class TestScheduleMany:
         batch = [Event(time=float(t)) for t in (4, 0.5, 2, 3)]
         assert len(batch) > engine.pending_count()
         engine.schedule_many(batch)
-        popped = engine.run()
+        popped = engine.run(collect_events=True)
         assert [event.time for event in popped] == [0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
 
     def test_small_batch_pushes_into_live_queue_in_order(self):
         engine = SimulationEngine()
         engine.schedule_many([Event(time=float(t)) for t in (6, 2, 4, 8)])
         engine.schedule_many([Event(time=float(t)) for t in (3, 7)])
-        popped = engine.run()
+        popped = engine.run(collect_events=True)
         assert [event.time for event in popped] == [2.0, 3.0, 4.0, 6.0, 7.0, 8.0]
 
     def test_simultaneous_events_keep_scheduling_order_across_merge(self):
@@ -124,7 +132,7 @@ class TestScheduleMany:
         engine.schedule_many(early)
         late = [Event(time=1.0, payload=f"batch{i}") for i in range(4)]
         engine.schedule_many(late)  # larger than live queue -> heapify merge
-        popped = engine.run()
+        popped = engine.run(collect_events=True)
         assert [event.payload for event in popped] == [
             "first", "second", "batch0", "batch1", "batch2", "batch3",
         ]
