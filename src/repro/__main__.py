@@ -2,8 +2,11 @@
 
 Subcommands:
 
-* ``list`` -- show the registered scenarios,
+* ``list`` -- show the registered scenarios and topology/workload sources,
 * ``show <scenario>`` -- print a scenario's spec as JSON,
+* ``data fetch|clean|info`` -- dataset utilities: stage the bundled
+  fixture datasets, clean a raw payment-trace CSV into the canonical
+  fingerprinted NPZ, and inspect snapshot/trace files,
 * ``run <scenario>`` -- execute a scenario grid in parallel, append
   resumable JSONL results and print the aggregated per-scheme table.
 * ``compare`` -- the figure-8 comparison pipeline: shard a multi-scheme,
@@ -41,6 +44,8 @@ import time
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table, scenario_table
+from repro.data.cli import add_data_arguments, run_data_command
+from repro.data.sources import list_topology_sources, list_workload_sources
 from repro.obs import DEFAULT_SAMPLE_RATE
 from repro.obs.log import INFO, configure, get_logger
 from repro.obs.report import (
@@ -118,7 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list registered scenarios")
+    commands.add_parser(
+        "list", help="list registered scenarios and topology/workload sources"
+    )
 
     show = commands.add_parser("show", help="print a scenario spec as JSON")
     show.add_argument("scenario", help="registered scenario name")
@@ -199,8 +206,33 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent path-catalog cache",
     )
+    compare.add_argument(
+        "--topology-source",
+        default=None,
+        metavar="KIND|JSON",
+        help=(
+            "topology source descriptor replacing the synthetic graph: a "
+            "registered kind (e.g. lightning-snapshot) or a JSON object "
+            'like {"kind": "lightning-snapshot", "path": "..."}'
+        ),
+    )
+    compare.add_argument(
+        "--workload-source",
+        default=None,
+        metavar="KIND|JSON",
+        help=(
+            "workload source descriptor replacing the Poisson generator: a "
+            "registered kind (e.g. ripple-trace) or a JSON object "
+            'like {"kind": "ripple-trace", "path": "..."}'
+        ),
+    )
     compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
     _add_obs_arguments(compare)
+
+    data = commands.add_parser(
+        "data", help="dataset utilities: fetch fixtures, clean traces, inspect files"
+    )
+    add_data_arguments(data)
 
     place = commands.add_parser(
         "place-compare",
@@ -417,6 +449,34 @@ def _command_list() -> int:
         for name, description in list_scenarios().items()
     ]
     log.info(format_table(rows))
+    log.info("")
+    log.info("topology sources (topology.kind / topology.source):")
+    log.info(
+        format_table(
+            [
+                {
+                    "kind": info.kind,
+                    "data": "synthetic" if info.synthetic else "data-backed",
+                    "description": info.description,
+                }
+                for info in list_topology_sources()
+            ]
+        )
+    )
+    log.info("")
+    log.info("workload sources (workload.source):")
+    log.info(
+        format_table(
+            [
+                {
+                    "kind": info.kind,
+                    "data": "synthetic" if info.synthetic else "data-backed",
+                    "description": info.description,
+                }
+                for info in list_workload_sources()
+            ]
+        )
+    )
     return 0
 
 
@@ -425,6 +485,14 @@ def _command_show(scenario: str) -> int:
     # (it must stay parseable even under --log-json).
     print(json.dumps(get_scenario(scenario).to_dict(), indent=2, sort_keys=True))
     return 0
+
+
+def _spec_sources(spec) -> Dict[str, object]:
+    """The active topology/workload source descriptors of a scenario spec."""
+    return {
+        "topology": spec.topology.describe_source(),
+        "workload": spec.workload.describe_source(),
+    }
 
 
 def _record_manifest(
@@ -436,6 +504,7 @@ def _record_manifest(
     rows: int,
     obs_dir: Optional[str] = None,
     table: Optional[str] = None,
+    sources: Optional[Dict[str, object]] = None,
 ) -> None:
     """Register one pipeline's outputs in ``<results_dir>/manifest.json``."""
     entry: Dict[str, object] = {
@@ -449,6 +518,8 @@ def _record_manifest(
         entry["obs_dir"] = obs_dir
     if table:
         entry["table"] = os.path.basename(table)
+    if sources:
+        entry["sources"] = sources
     path = update_manifest(results_dir, entry)
     log.debug(f"updated manifest {path}", command=command, name=name)
 
@@ -493,8 +564,23 @@ def _command_run(args: argparse.Namespace) -> int:
         schema_version=RESULT_SCHEMA_VERSION,
         rows=len(report.rows),
         obs_dir=spec.obs.get("dir") if spec.obs else None,
+        sources=_spec_sources(spec),
     )
     return 0
+
+
+def _parse_source_flag(raw: Optional[str]) -> Optional[object]:
+    """A ``--topology-source``/``--workload-source`` value: kind name or JSON."""
+    if raw is None:
+        return None
+    if raw.lstrip().startswith("{"):
+        descriptor = json.loads(raw)
+        if not isinstance(descriptor, dict) or "kind" not in descriptor:
+            raise ValueError(
+                f"source descriptor JSON must be an object with a 'kind' key, got {raw!r}"
+            )
+        return descriptor
+    return raw
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -516,6 +602,8 @@ def _command_compare(args: argparse.Namespace) -> int:
             seeds=seeds,
             duration=args.duration,
             nodes=args.nodes,
+            topology_source=_parse_source_flag(args.topology_source),
+            workload_source=_parse_source_flag(args.workload_source),
         )
         if args.arrival_rate is not None:
             spec.workload.arrival_rate = args.arrival_rate
@@ -526,7 +614,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         spec.obs = _obs_settings(args)
         runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
         total = len(spec.expand_runs())
-        nodes = spec.topology.params["node_count"]
+        source_kind, source_params = spec.topology.resolved_source()
+        nodes = source_params.get("node_count") or source_params.get("max_nodes") or source_kind
         log.info(
             f"compare scale {scale!r}: {nodes} nodes, {len(schemes)} scheme(s) x "
             f"{len(seeds)} seed(s) = {total} run(s), {args.workers} worker(s) "
@@ -587,6 +676,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             rows=len(report.rows),
             obs_dir=spec.obs.get("dir") if spec.obs else None,
             table=table_path,
+            sources=_spec_sources(spec),
         )
     return 0
 
@@ -880,6 +970,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_report(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "data":
+            return run_data_command(args)
         return _command_run(args)
     except (KeyError, ValueError) as error:
         log.error(str(error.args[0] if error.args else error))

@@ -1,0 +1,149 @@
+"""Implementation of the ``python -m repro data`` subcommands.
+
+``fetch`` stages datasets into a working directory, ``clean`` turns a raw
+payment-trace CSV into the canonical fingerprinted NPZ, ``info`` prints
+summary statistics for snapshots and traces.  Everything works offline
+against the bundled fixtures; real datasets are user-supplied (licensing
+notes and pointers live in ``docs/datasets.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+from typing import Dict
+
+from repro.data.fixtures import fixture_path, list_fixtures
+from repro.data.lightning import snapshot_info
+from repro.data.ripple import clean_trace, trace_info
+from repro.obs.log import get_logger
+
+log = get_logger("repro.data")
+
+
+def add_data_arguments(sub: argparse.ArgumentParser) -> None:
+    """Attach the ``fetch``/``clean``/``info`` sub-subcommands."""
+    actions = sub.add_subparsers(dest="data_command", required=True)
+
+    fetch = actions.add_parser(
+        "fetch",
+        help="stage the bundled fixture datasets into a working directory",
+    )
+    fetch.add_argument(
+        "--dest",
+        default="data",
+        help="destination directory (default ./data)",
+    )
+    fetch.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite files that already exist in the destination",
+    )
+
+    clean = actions.add_parser(
+        "clean",
+        help="clean a raw payment-trace CSV into a canonical fingerprinted NPZ",
+    )
+    clean.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="raw trace CSV (default: the bundled ripple_small.csv fixture)",
+    )
+    clean.add_argument(
+        "--output",
+        default=None,
+        help="canonical NPZ path (default: <source>.npz next to the source)",
+    )
+
+    info = actions.add_parser(
+        "info",
+        help="print summary statistics for snapshot/trace files",
+    )
+    info.add_argument(
+        "paths",
+        nargs="*",
+        help="snapshot (.json) or trace (.csv/.npz) files; default: the bundled fixtures",
+    )
+    info.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print machine-readable JSON instead of text lines",
+    )
+
+
+def _command_fetch(args: argparse.Namespace) -> int:
+    os.makedirs(args.dest, exist_ok=True)
+    staged = 0
+    for name in list_fixtures():
+        target = os.path.join(args.dest, name)
+        if os.path.exists(target) and not args.force:
+            log.info(f"  kept {target} (exists; use --force to overwrite)")
+            continue
+        shutil.copyfile(fixture_path(name), target)
+        log.info(f"  staged {target}")
+        staged += 1
+    log.info(
+        f"fetch: staged {staged} bundled fixture file(s) into {args.dest}; "
+        f"see docs/datasets.md for obtaining full Lightning/Ripple datasets",
+        staged=staged,
+        dest=args.dest,
+    )
+    return 0
+
+
+def _command_clean(args: argparse.Namespace) -> int:
+    source = args.source or fixture_path("ripple_small.csv")
+    output = args.output
+    if output is None:
+        base, _ = os.path.splitext(source)
+        output = base + ".npz"
+    trace, report, _ = clean_trace(source, output)
+    log.info(
+        f"clean: {report.kept}/{report.rows_total} row(s) kept "
+        f"(malformed {report.dropped_malformed}, duplicate {report.dropped_duplicate_id}, "
+        f"nonpositive {report.dropped_nonpositive}, self-payment {report.dropped_self_payment}, "
+        f"reordered {report.reordered})",
+        **report.as_dict(),
+    )
+    log.info(
+        f"wrote {output} ({trace.count} payments, {len(trace.accounts)} accounts, "
+        f"{trace.duration:.1f}s) fingerprint {trace.fingerprint}",
+        path=output,
+        fingerprint=trace.fingerprint,
+    )
+    return 0
+
+
+def _info_for(path: str) -> Dict[str, object]:
+    if path.endswith(".json"):
+        return snapshot_info(path)
+    return trace_info(path)
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    paths = args.paths or [fixture_path("lightning_small.json"), fixture_path("ripple_small.csv")]
+    reports = [_info_for(path) for path in paths]
+    if args.json_output:
+        # Machine-readable output owns stdout (parseable under --log-json).
+        print(json.dumps(reports, indent=2, sort_keys=True, default=str))
+        return 0
+    for report in reports:
+        log.info(f"{report['format']}: {report['path']}")
+        for key in sorted(report):
+            if key in ("path", "format"):
+                continue
+            log.info(f"  {key}: {report[key]}")
+    return 0
+
+
+def run_data_command(args: argparse.Namespace) -> int:
+    """Dispatch ``python -m repro data <fetch|clean|info>``."""
+    if args.data_command == "fetch":
+        return _command_fetch(args)
+    if args.data_command == "clean":
+        return _command_clean(args)
+    return _command_info(args)

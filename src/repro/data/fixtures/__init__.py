@@ -1,0 +1,45 @@
+"""Bundled fixture datasets for offline, reproducible real-trace runs.
+
+The real datasets the paper draws on (a Lightning Network channel-graph
+snapshot, a Ripple payment trace) are not redistributable, so this package
+ships small, synthetic-but-realistically-shaped stand-ins:
+
+* ``lightning_small.json`` -- a ~45-node channel graph in LN
+  ``describegraph`` shape, with heavy-tailed capacities, fee policies, a
+  parallel channel and a disconnected component (so the loader's
+  aggregation and largest-component extraction are exercised).
+* ``ripple_small.csv`` -- a raw payment trace with the dirt real traces
+  carry: malformed rows, duplicate payment ids, zero/negative amounts,
+  self-payments and out-of-order timestamps.
+
+See ``docs/datasets.md`` for the formats and for pointers to the real
+datasets these stand in for.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+__all__ = ["fixture_path", "list_fixtures"]
+
+_FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def fixture_path(name: str) -> str:
+    """Absolute path of a bundled fixture file, with a helpful error."""
+    path = os.path.join(_FIXTURE_DIR, name)
+    if not os.path.isfile(path):
+        raise FileNotFoundError(
+            f"no bundled fixture {name!r}; available: {', '.join(list_fixtures())}"
+        )
+    return path
+
+
+def list_fixtures() -> List[str]:
+    """Names of every bundled fixture data file."""
+    return sorted(
+        entry
+        for entry in os.listdir(_FIXTURE_DIR)
+        if not entry.endswith(".py") and not entry.startswith("__")
+    )

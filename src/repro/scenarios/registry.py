@@ -16,6 +16,9 @@ the dynamic/adversarial conditions the reproduction adds on top:
 ``hub-failure``       The two best-connected hubs fail mid-run and recover.
 ``channel-jamming``   An adversary locks 90% of the liquidity of the
                       highest-capacity channels for most of the run.
+``real-trace``        Real graph x real payments: the bundled Lightning
+                      snapshot replayed against the bundled Ripple trace
+                      through the source-provider API.
 ====================  =====================================================
 
 Register custom scenarios with :func:`register_scenario`.
@@ -206,6 +209,8 @@ def build_comparison_spec(
     seeds: Optional[List[int]] = None,
     duration: float = 8.0,
     nodes: Optional[int] = None,
+    topology_source: Optional[object] = None,
+    workload_source: Optional[object] = None,
 ) -> ScenarioSpec:
     """The figure-8 comparison at one scale, sharded one scheme per run.
 
@@ -213,6 +218,14 @@ def build_comparison_spec(
     :class:`SchemeSpec` entries (``schemes.0``), so every (scheme, seed)
     combination is an independent run the scenario runner can place on any
     worker process and resume from its JSONL results file.
+
+    ``topology_source`` / ``workload_source`` swap the synthetic topology
+    and/or Poisson workload for registered source descriptors (a kind name
+    or ``{"kind": ..., **params}``), e.g. ``lightning-snapshot`` x
+    ``ripple-trace`` for a real-graph-x-real-payments comparison; a
+    ``nodes`` override becomes the snapshot loader's ``max_nodes`` cap.
+    Source-backed specs fingerprint on the descriptor, so their JSONL
+    sweeps resume independently of the synthetic ones.
     """
     try:
         params = COMPARISON_SCALES[scale]
@@ -222,22 +235,36 @@ def build_comparison_spec(
             f"{', '.join(sorted(COMPARISON_SCALES))}"
         ) from None
     nodes = int(params["nodes"]) if nodes is None else int(nodes)
+    topology = TopologySpec(
+        kind="watts-strogatz",
+        params={
+            "node_count": nodes,
+            "nearest_neighbors": 8,
+            "rewire_probability": 0.25,
+            "candidate_fraction": 0.15 if nodes <= 150 else 0.08,
+        },
+        channel_scale=1.0,
+    )
+    if topology_source is not None:
+        descriptor = (
+            {"kind": topology_source}
+            if isinstance(topology_source, str)
+            else dict(topology_source)
+        )
+        descriptor.setdefault("max_nodes", nodes)
+        topology = TopologySpec(source=descriptor)
+    workload = WorkloadSpec(duration=duration, arrival_rate=float(params["arrival_rate"]))
+    if workload_source is not None:
+        workload.source = (
+            {"kind": workload_source}
+            if isinstance(workload_source, str)
+            else dict(workload_source)
+        )
     return ScenarioSpec(
         name=f"compare-{scale}",
         description=f"Figure-8 comparison at the {scale} scale ({nodes} nodes)",
-        topology=TopologySpec(
-            kind="watts-strogatz",
-            params={
-                "node_count": nodes,
-                "nearest_neighbors": 8,
-                "rewire_probability": 0.25,
-                "candidate_fraction": 0.15 if nodes <= 150 else 0.08,
-            },
-            channel_scale=1.0,
-        ),
-        workload=WorkloadSpec(
-            duration=duration, arrival_rate=float(params["arrival_rate"])
-        ),
+        topology=topology,
+        workload=workload,
         # A constant placeholder: every run's grid override replaces it, and
         # keeping it independent of --schemes/--backend keeps the spec
         # fingerprint (and therefore resume keys) stable across invocations
@@ -257,6 +284,27 @@ def compare_large() -> ScenarioSpec:
     """The default ``python -m repro compare`` configuration, for discovery."""
     return build_comparison_spec(
         "large", ["splicer", "spider", "flash", "landmark"], backend="numpy"
+    )
+
+
+@register_scenario
+def real_trace() -> ScenarioSpec:
+    """Real graph x real payments over the bundled fixture datasets.
+
+    Both sides go through the source-provider API: the topology is the
+    bundled Lightning-style snapshot (normalized to paper units), the
+    workload is the bundled Ripple-style trace compressed to the spec's
+    duration and streamed in chunks.  Point ``topology.source.path`` /
+    ``workload.source.path`` at full datasets (see ``docs/datasets.md``)
+    to run the same scenario at paper scale and beyond.
+    """
+    return ScenarioSpec(
+        name="real-trace",
+        description="Bundled Lightning snapshot x Ripple trace via source providers",
+        topology=TopologySpec(source={"kind": "lightning-snapshot"}),
+        workload=WorkloadSpec(duration=8.0, source={"kind": "ripple-trace"}),
+        schemes=_all_schemes(),
+        seeds=[1, 2],
     )
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 import copy
 import hashlib
 import itertools
+import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -39,18 +40,14 @@ from repro.scenarios.dynamics import (
     hub_outage_events,
     jamming_events,
 )
+from repro.data.sources import get_topology_source, get_workload_source
 from repro.simulator.experiment import ExperimentRunner
 from repro.simulator.workload import TransactionWorkload, WorkloadConfig, generate_workload
-from repro.topology.datasets import ChannelSizeDistribution, TransactionValueDistribution
-from repro.topology.generators import (
-    grid_pcn,
-    multi_star_pcn,
-    random_pcn,
-    scale_free_pcn,
-    star_pcn,
-    watts_strogatz_pcn,
-)
+from repro.topology.datasets import TransactionValueDistribution
 from repro.topology.network import PCNetwork
+
+#: A source descriptor: either a bare kind name or ``{"kind": ..., **params}``.
+SourceDescriptor = Union[str, Dict[str, object]]
 
 
 def derive_seed(base: int, *parts: object) -> int:
@@ -67,52 +64,90 @@ def derive_seed(base: int, *parts: object) -> int:
 # ---------------------------------------------------------------------- #
 # topology
 # ---------------------------------------------------------------------- #
-_TOPOLOGY_BUILDERS = {
-    "watts-strogatz": watts_strogatz_pcn,
-    "scale-free": scale_free_pcn,
-    "random": random_pcn,
-    "grid": grid_pcn,
-    "star": star_pcn,
-    "multi-star": multi_star_pcn,
-}
-
-#: Generators whose signature has no ``seed``/``channel_sizes`` parameters.
-_UNSEEDED_TOPOLOGIES = {"star", "multi-star"}
+def _normalize_descriptor(
+    descriptor: SourceDescriptor, family: str
+) -> Tuple[str, Dict[str, object]]:
+    """Split a source descriptor into ``(kind, params)``."""
+    if isinstance(descriptor, str):
+        return descriptor, {}
+    if isinstance(descriptor, dict) and "kind" in descriptor:
+        return str(descriptor["kind"]), {
+            key: value for key, value in descriptor.items() if key != "kind"
+        }
+    raise ValueError(
+        f"{family} source must be a kind name or a dict with a 'kind' key, "
+        f"got {descriptor!r}"
+    )
 
 
 @dataclass
 class TopologySpec:
-    """Which topology generator to run and with which parameters.
+    """Which topology source to build the network from.
 
     Attributes:
-        kind: Generator name (see ``_TOPOLOGY_BUILDERS``).
-        params: Keyword arguments passed to the generator verbatim
+        kind: Source name from the topology-source registry
+            (:mod:`repro.data.sources`); the classic spelling, still
+            canonical for synthetic generators.
+        params: Keyword arguments passed to the source builder verbatim
             (e.g. ``node_count``, ``nearest_neighbors``).
         channel_scale: Scale of the paper's heavy-tailed channel-size
             distribution; ``None`` uses the generator's uniform sizing.
+            Rejected (not ignored) by sources that do not support it.
+        source: Explicit source descriptor -- a kind name or
+            ``{"kind": ..., **params}``.  Takes precedence over ``kind``
+            and ``params`` entirely.  This is the spelling for data-backed
+            sources (``lightning-snapshot``), and its entries are
+            reachable from grid overrides, e.g.
+            ``topology.source.max_nodes``.
     """
 
     kind: str = "watts-strogatz"
     params: Dict[str, object] = field(default_factory=dict)
     channel_scale: Optional[float] = 1.0
+    source: Optional[SourceDescriptor] = None
+
+    def resolved_source(self) -> Tuple[str, Dict[str, object]]:
+        """The effective ``(kind, params)``.
+
+        An explicit ``source`` descriptor replaces both ``kind`` and
+        ``params`` -- the legacy ``params`` field belongs to the legacy
+        ``kind`` spelling (a Watts-Strogatz ``node_count`` means nothing to
+        a snapshot loader), so the two spellings never mix.
+        """
+        if self.source is None:
+            return self.kind, dict(self.params)
+        return _normalize_descriptor(self.source, "topology")
+
+    def describe_source(self) -> Dict[str, object]:
+        """The active source descriptor (for run manifests and reports)."""
+        kind, params = self.resolved_source()
+        info = get_topology_source(kind)
+        return {"kind": kind, "params": params, "synthetic": info.synthetic}
 
     def build(self, seed: int) -> PCNetwork:
-        """Generate the funded network deterministically from ``seed``."""
-        try:
-            builder = _TOPOLOGY_BUILDERS[self.kind]
-        except KeyError:
+        """Build the funded network deterministically from ``seed``."""
+        kind, params = self.resolved_source()
+        info = get_topology_source(kind)
+        if self.source is None and not info.synthetic:
+            warnings.warn(
+                f"spelling the data-backed topology source {kind!r} through the "
+                f"legacy 'kind' field is deprecated; use topology.source = "
+                f"{{'kind': {kind!r}, ...}} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if self.channel_scale not in (None, 1, 1.0) and not info.channel_scale:
             raise ValueError(
-                f"unknown topology kind {self.kind!r}; expected one of "
-                f"{sorted(_TOPOLOGY_BUILDERS)}"
-            ) from None
-        kwargs = dict(self.params)
-        if self.kind not in _UNSEEDED_TOPOLOGIES:
+                f"topology source {kind!r} does not support channel_scale "
+                f"(got channel_scale={self.channel_scale!r}); remove the "
+                f"parameter or use a channel-scale-aware source"
+            )
+        kwargs = dict(params)
+        if info.seeded:
             kwargs.setdefault("seed", seed)
-            if self.channel_scale is not None and self.kind in ("watts-strogatz", "scale-free", "random"):
-                kwargs.setdefault(
-                    "channel_sizes", ChannelSizeDistribution(scale=self.channel_scale)
-                )
-        return builder(**kwargs)
+        if info.channel_scale:
+            kwargs.setdefault("channel_scale", self.channel_scale)
+        return info.builder(**kwargs)
 
 
 # ---------------------------------------------------------------------- #
@@ -122,9 +157,18 @@ class TopologySpec:
 class WorkloadSpec:
     """Workload parameters plus optional flash-crowd bursts.
 
-    Mirrors :class:`~repro.simulator.workload.WorkloadConfig`; ``bursts`` is
-    a list of ``(start, end, rate_multiplier)`` windows during which the
+    The flat fields mirror :class:`~repro.simulator.workload.WorkloadConfig`
+    and parameterize the default synthetic Poisson source; ``bursts`` is a
+    list of ``(start, end, rate_multiplier)`` windows during which the
     arrival rate is multiplied, modeling flash-crowd demand spikes.
+
+    ``source`` selects a different workload source from the registry
+    (:mod:`repro.data.sources`) -- a kind name or ``{"kind": ..., **params}``
+    -- e.g. ``{"kind": "ripple-trace", "path": ...}`` replays a payment
+    trace instead of generating one.  Source params are reachable from grid
+    overrides (``workload.source.time_scale``); the flat fields keep
+    supplying defaults (duration, value scale, minimum value) that sources
+    may honor.
     """
 
     duration: float = 8.0
@@ -138,6 +182,37 @@ class WorkloadSpec:
     deadlock_fraction: float = 0.2
     min_value: float = 1.0
     bursts: List[List[float]] = field(default_factory=list)
+    source: Optional[SourceDescriptor] = None
+
+    def resolved_source(self) -> Tuple[str, Dict[str, object]]:
+        """The effective ``(kind, params)``; no ``source`` means Poisson."""
+        if self.source is None:
+            return "poisson", {}
+        return _normalize_descriptor(self.source, "workload")
+
+    def describe_source(self) -> Dict[str, object]:
+        """The active source descriptor (for run manifests and reports)."""
+        kind, params = self.resolved_source()
+        info = get_workload_source(kind)
+        return {"kind": kind, "params": params, "synthetic": info.synthetic}
+
+    def with_poisson_params(self, params: Dict[str, object]) -> "WorkloadSpec":
+        """A copy with Poisson fields overridden from a source descriptor.
+
+        Lets an explicit ``{"kind": "poisson", "arrival_rate": ...}``
+        descriptor override the flat spec fields, so grid overrides compose
+        identically through either spelling.
+        """
+        allowed = {
+            spec_field.name for spec_field in fields(self) if spec_field.name != "source"
+        }
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise ValueError(
+                f"unknown poisson workload parameter(s) {unknown}; "
+                f"expected one of {sorted(allowed)}"
+            )
+        return replace(self, source=None, **params)
 
     def _config(self, seed: int, duration: float, arrival_rate: float) -> WorkloadConfig:
         return WorkloadConfig(
@@ -156,8 +231,20 @@ class WorkloadSpec:
             seed=seed,
         )
 
-    def build(self, network: PCNetwork, seed: int) -> TransactionWorkload:
-        """Generate the workload (baseline Poisson process plus bursts)."""
+    def build(self, network: PCNetwork, seed: int):
+        """Build the workload by dispatching to the active source.
+
+        Returns either a materialized
+        :class:`~repro.simulator.workload.TransactionWorkload` or a
+        :class:`~repro.simulator.workload.StreamingWorkload`, depending on
+        the source.
+        """
+        kind, params = self.resolved_source()
+        info = get_workload_source(kind)
+        return info.builder(network, seed, params, self)
+
+    def build_poisson(self, network: PCNetwork, seed: int) -> TransactionWorkload:
+        """Generate the synthetic workload (baseline Poisson process plus bursts)."""
         base = generate_workload(network, self._config(seed, self.duration, self.arrival_rate))
         requests = list(base.requests)
         for index, burst in enumerate(self.bursts):
@@ -343,8 +430,19 @@ class ScenarioSpec:
 
     # -- serialization ------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict (JSON-safe) representation."""
-        return asdict(self)
+        """Plain-dict (JSON-safe) representation.
+
+        An unset ``source`` is pruned from the topology/workload sections:
+        specs that predate the source-provider API keep the exact dict
+        shape (and therefore the exact resume fingerprint) they had before
+        the field existed.
+        """
+        data = asdict(self)
+        for section in ("topology", "workload"):
+            sub = data.get(section)
+            if isinstance(sub, dict) and sub.get("source") is None:
+                sub.pop("source", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":

@@ -28,8 +28,41 @@ from repro.obs import core as obs
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.events import Event, EventKind
 from repro.simulator.metrics import MetricsCollector, SchemeMetrics
-from repro.simulator.workload import TransactionWorkload
+from repro.simulator.workload import StreamingWorkload, TransactionWorkload
 from repro.topology.network import PCNetwork
+
+
+class _ArrivalCursor:
+    """Pulls time-ordered requests out of a streaming workload on demand.
+
+    Streaming replay must be *decision-identical* to scheduling every
+    request as an engine event: with batched arrivals, a request arriving
+    at or before a drain point (tick, dynamics event, final drain) is part
+    of that drain's batch.  The cursor reproduces exactly that with a
+    strict ``arrival_time <= now`` test, holding only one chunk of the
+    stream in memory at a time.
+    """
+
+    def __init__(self, workload: StreamingWorkload) -> None:
+        self._chunks = iter(workload.iter_chunks())
+        self._buffer: List = []
+        self._index = 0
+
+    def take_until(self, now: float) -> List:
+        """All not-yet-taken requests with ``arrival_time <= now``, in order."""
+        taken: List = []
+        while True:
+            while self._index < len(self._buffer):
+                request = self._buffer[self._index]
+                if request.arrival_time > now:
+                    return taken
+                taken.append(request)
+                self._index += 1
+            chunk = next(self._chunks, None)
+            if chunk is None:
+                return taken
+            self._buffer = chunk
+            self._index = 0
 
 
 class NetworkDynamicsEvent(Protocol):
@@ -109,7 +142,7 @@ class ExperimentRunner:
     def __init__(
         self,
         network: PCNetwork,
-        workload: TransactionWorkload,
+        workload: "TransactionWorkload | StreamingWorkload",
         step_size: float = 0.1,
         drain_time: float = 5.0,
         dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
@@ -119,6 +152,11 @@ class ExperimentRunner:
             raise ValueError("step_size must be positive")
         if drain_time < 0:
             raise ValueError("drain_time must be non-negative")
+        if hasattr(workload, "iter_chunks") and not batch_arrivals:
+            raise ValueError(
+                "streaming workloads require batch_arrivals=True; "
+                "materialize() the workload for per-arrival delivery"
+            )
         self.network = network
         self.workload = workload
         self.step_size = step_size
@@ -171,6 +209,11 @@ class ExperimentRunner:
         arrivals, and each request is routed at its own arrival time, so the
         decision sequence is identical to per-arrival delivery; schemes with
         a vectorized backend amortize their work across the batch.
+
+        :class:`~repro.simulator.workload.StreamingWorkload` inputs (trace
+        replays) are pulled chunk by chunk at the same drain points instead
+        of being pre-scheduled, with identical batch boundaries -- the full
+        trace is never materialized as Python objects.
         """
         self._reset_network()
         scheme.prepare(self.network, rng=rng)
@@ -179,6 +222,16 @@ class ExperimentRunner:
         engine = SimulationEngine()
         end_time = self.workload.config.duration + self.drain_time
         pending: List = []
+        # Streaming workloads are pulled through a cursor at every drain
+        # point instead of being pre-scheduled as engine events; the strict
+        # arrival_time <= now test makes the two delivery paths
+        # decision-identical (engine.run leaves now == end_time, so the
+        # final drain sees the stream's tail as well).
+        cursor = (
+            _ArrivalCursor(self.workload)
+            if hasattr(self.workload, "iter_chunks")
+            else None
+        )
 
         rec = obs.RECORDER
         if rec.enabled:
@@ -189,6 +242,8 @@ class ExperimentRunner:
             )
 
         def drain_arrivals() -> None:
+            if cursor is not None:
+                pending.extend(cursor.take_until(engine.now))
             if not pending:
                 return
             batch = list(pending)
@@ -215,15 +270,16 @@ class ExperimentRunner:
             report = scheme.step(_engine.now, self.step_size)
             self._consume(report, scheme, collector, _engine.now)
 
-        engine.schedule_many(
-            Event(
-                time=request.arrival_time,
-                kind=EventKind.PAYMENT_ARRIVAL,
-                payload=request,
-                handler=on_arrival,
+        if cursor is None:
+            engine.schedule_many(
+                Event(
+                    time=request.arrival_time,
+                    kind=EventKind.PAYMENT_ARRIVAL,
+                    payload=request,
+                    handler=on_arrival,
+                )
+                for request in self.workload.requests
             )
-            for request in self.workload.requests
-        )
         engine.schedule_periodic(
             start=self.step_size,
             interval=self.step_size,
@@ -418,7 +474,7 @@ class ExperimentRunner:
 
 def compare_schemes(
     network: PCNetwork,
-    workload: TransactionWorkload,
+    workload: "TransactionWorkload | StreamingWorkload",
     schemes: Sequence[RoutingScheme],
     step_size: float = 0.1,
     drain_time: float = 5.0,

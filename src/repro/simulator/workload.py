@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -411,3 +411,51 @@ def circular_demand_workload(
             index += 1
     config = WorkloadConfig(duration=duration, arrival_rate=max(total / duration, 1e-6), seed=seed)
     return TransactionWorkload(requests=requests, config=config)
+
+
+@dataclass
+class StreamingWorkload:
+    """A workload delivered in chunks instead of one materialized list.
+
+    Trace replays (see :mod:`repro.data.ripple`) can be far larger than
+    anything worth holding as Python objects; this wrapper carries the
+    summary statistics the experiment runner reports up front and yields
+    :class:`TransactionRequest` chunks on demand, in arrival order.  The
+    runner detects it by the presence of :meth:`iter_chunks` and drains
+    arrivals through a pull cursor instead of pre-scheduling every payment
+    as an engine event.
+
+    Attributes:
+        config: Workload parameters (duration drives the experiment end
+            time, exactly as for :class:`TransactionWorkload`).
+        count: Total number of payments the stream will yield.
+        total_value: Sum of all payment values in the stream.
+        chunk_factory: Zero-argument callable returning a fresh iterator of
+            request chunks; called once per replay so a workload can be
+            replayed by multiple schemes/runs.
+        deadlock_motifs: Present for interface parity with
+            :class:`TransactionWorkload`; trace replays have none.
+    """
+
+    config: WorkloadConfig
+    count: int
+    total_value: float
+    chunk_factory: Callable[[], Iterator[List[TransactionRequest]]]
+    deadlock_motifs: List[Tuple[NodeId, NodeId, NodeId]] = field(default_factory=list)
+
+    def iter_chunks(self) -> Iterator[List[TransactionRequest]]:
+        """A fresh pass over the stream, yielding time-ordered chunks."""
+        return self.chunk_factory()
+
+    def materialize(self) -> TransactionWorkload:
+        """Collect the whole stream into a plain :class:`TransactionWorkload`.
+
+        Intended for tests and small traces -- it defeats the point of
+        streaming for large ones.
+        """
+        requests = [request for chunk in self.iter_chunks() for request in chunk]
+        return TransactionWorkload(
+            requests=requests,
+            config=self.config,
+            deadlock_motifs=list(self.deadlock_motifs),
+        )

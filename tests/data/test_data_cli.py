@@ -1,0 +1,91 @@
+"""Tests for the ``python -m repro data`` subcommands."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.data.fixtures import fixture_path, list_fixtures
+
+
+@pytest.fixture(autouse=True)
+def reset_log_config():
+    yield
+    from repro.obs.log import INFO, configure
+
+    configure(mode="human", level=INFO)
+
+
+class TestFetch:
+    def test_stages_all_fixtures(self, tmp_path):
+        dest = str(tmp_path / "data")
+        assert cli_main(["data", "fetch", "--dest", dest]) == 0
+        staged = sorted(os.listdir(dest))
+        assert staged == sorted(list_fixtures())
+
+    def test_existing_files_kept_without_force(self, tmp_path):
+        dest = tmp_path / "data"
+        dest.mkdir()
+        marker = dest / "ripple_small.csv"
+        marker.write_text("sentinel")
+        assert cli_main(["data", "fetch", "--dest", str(dest)]) == 0
+        assert marker.read_text() == "sentinel"
+        assert cli_main(["data", "fetch", "--dest", str(dest), "--force"]) == 0
+        assert marker.read_text() != "sentinel"
+
+
+class TestClean:
+    def test_writes_canonical_next_to_source(self, tmp_path):
+        source = tmp_path / "trace.csv"
+        source.write_text(
+            "payment_id,timestamp,sender,receiver,amount\n"
+            "tx1,0.0,a,b,5.0\n"
+            "tx2,1.0,b,a,3.0\n"
+        )
+        assert cli_main(["data", "clean", str(source)]) == 0
+        assert (tmp_path / "trace.npz").is_file()
+        sidecar = json.loads((tmp_path / "trace.json").read_text())
+        assert sidecar["payments"] == 2
+        assert sidecar["cleaning"]["kept"] == 2
+
+    def test_explicit_output_path(self, tmp_path):
+        output = tmp_path / "canonical.npz"
+        assert (
+            cli_main(
+                [
+                    "data",
+                    "clean",
+                    fixture_path("ripple_small.csv"),
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        assert output.is_file()
+        sidecar = json.loads((tmp_path / "canonical.json").read_text())
+        assert sidecar["payments"] == 360
+        assert sidecar["cleaning"]["rows_total"] == 376
+
+
+class TestInfo:
+    def test_json_output_covers_default_fixtures(self, capsys):
+        assert cli_main(["data", "info", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        formats = sorted(report["format"] for report in reports)
+        assert formats == ["lightning-snapshot", "repro-ripple-trace"]
+
+    def test_json_output_for_npz(self, tmp_path, capsys):
+        output = tmp_path / "trace.npz"
+        cli_main(
+            ["data", "clean", fixture_path("ripple_small.csv"), "--output", str(output)]
+        )
+        capsys.readouterr()
+        assert cli_main(["data", "info", str(output), "--json"]) == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["payments"] == 360
+        assert report["fingerprint"]
+
+    def test_text_output(self):
+        assert cli_main(["data", "info", fixture_path("lightning_small.json")]) == 0
