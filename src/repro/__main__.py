@@ -41,9 +41,10 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table, scenario_table
+from repro.baselines import SCHEME_REGISTRY
 from repro.data.cli import add_data_arguments, run_data_command
 from repro.data.sources import list_topology_sources, list_workload_sources
 from repro.obs import DEFAULT_SAMPLE_RATE
@@ -438,6 +439,7 @@ def _spec_with_cli_overrides(args: argparse.Namespace):
                 entry for entry in spec.grid["schemes.0"] if entry.get("name") in wanted
             ]
         else:
+            _check_scheme_names(wanted)
             by_name = {scheme.name: scheme for scheme in spec.schemes}
             spec.schemes = [by_name.get(name, SchemeSpec(name=name)) for name in wanted]
     return spec
@@ -569,18 +571,31 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_source_flag(raw: Optional[str]) -> Optional[object]:
+def _parse_source_flag(raw: Optional[str], flag: str) -> Optional[object]:
     """A ``--topology-source``/``--workload-source`` value: kind name or JSON."""
     if raw is None:
         return None
     if raw.lstrip().startswith("{"):
-        descriptor = json.loads(raw)
+        try:
+            descriptor = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{flag}: invalid JSON descriptor ({error}): {raw!r}") from None
         if not isinstance(descriptor, dict) or "kind" not in descriptor:
             raise ValueError(
-                f"source descriptor JSON must be an object with a 'kind' key, got {raw!r}"
+                f"{flag}: descriptor JSON must be an object with a 'kind' key, got {raw!r}"
             )
         return descriptor
     return raw
+
+
+def _check_scheme_names(names: Sequence[str]) -> None:
+    """Reject unknown scheme names before any topology/worker spin-up."""
+    unknown = [name for name in names if name not in SCHEME_REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown scheme(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(SCHEME_REGISTRY))}"
+        )
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -593,6 +608,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         raise ValueError("--scale must name at least one scale")
     if not seeds:
         raise ValueError("--seeds must name at least one seed")
+    _check_scheme_names(schemes)
 
     for scale in scales:
         spec = build_comparison_spec(
@@ -602,8 +618,8 @@ def _command_compare(args: argparse.Namespace) -> int:
             seeds=seeds,
             duration=args.duration,
             nodes=args.nodes,
-            topology_source=_parse_source_flag(args.topology_source),
-            workload_source=_parse_source_flag(args.workload_source),
+            topology_source=_parse_source_flag(args.topology_source, "--topology-source"),
+            workload_source=_parse_source_flag(args.workload_source, "--workload-source"),
         )
         if args.arrival_rate is not None:
             spec.workload.arrival_rate = args.arrival_rate

@@ -14,6 +14,11 @@ replay the same workload over the same topology under each of them:
   per-payment cryptographic overhead (A2L, S&P'21).
 * :class:`~repro.baselines.shortest_path.ShortestPathScheme` -- plain
   single-path source routing.
+* :class:`~repro.baselines.speedymurmurs.SpeedyMurmursScheme` -- greedy
+  embedding routing over landmark-rooted spanning trees with
+  churn-reactive coordinate repair (SpeedyMurmurs, NDSS'18).
+* :class:`~repro.baselines.waterfilling.WaterfillingScheme` -- atomic
+  multi-path routing with residual-capacity-balanced waterfilling splits.
 """
 
 from repro.baselines.a2l import A2LScheme
@@ -21,8 +26,10 @@ from repro.baselines.base import RoutingScheme, SchemeStepReport
 from repro.baselines.flash import FlashScheme
 from repro.baselines.landmark import LandmarkScheme
 from repro.baselines.shortest_path import ShortestPathScheme
+from repro.baselines.speedymurmurs import SpeedyMurmursScheme
 from repro.baselines.spider import SpiderScheme
 from repro.baselines.splicer_scheme import SplicerScheme
+from repro.baselines.waterfilling import WaterfillingScheme
 
 #: Registry of the paper's comparison schemes keyed by display name.
 SCHEME_REGISTRY = {
@@ -32,6 +39,8 @@ SCHEME_REGISTRY = {
     "landmark": LandmarkScheme,
     "a2l": A2LScheme,
     "shortest-path": ShortestPathScheme,
+    "speedymurmurs": SpeedyMurmursScheme,
+    "waterfilling": WaterfillingScheme,
 }
 
 __all__ = [
@@ -43,5 +52,7 @@ __all__ = [
     "LandmarkScheme",
     "A2LScheme",
     "ShortestPathScheme",
+    "SpeedyMurmursScheme",
+    "WaterfillingScheme",
     "SCHEME_REGISTRY",
 ]

@@ -240,6 +240,7 @@ class AtomicRoutingMixin:
         paths: Sequence[Sequence[NodeId]],
         now: float,
         entry: Optional[CatalogEntry] = None,
+        shares: Optional[Sequence[float]] = None,
     ) -> bool:
         """Attempt to deliver ``payment`` across ``paths``, all-or-nothing.
 
@@ -247,50 +248,68 @@ class AtomicRoutingMixin:
         current bottleneck capacity.  If the paths cannot jointly carry the
         value, nothing is transferred and the attempt fails.  ``entry`` may
         carry the catalog resolution of ``paths`` for the array backend.
+        ``shares`` (aligned with ``paths``) overrides the greedy
+        largest-first split with caller-computed per-path amounts
+        (waterfilling); the caller checks joint capacity beforehand.
         """
         if self._executor is not None:
-            return self._executor.execute(payment, paths, now, entry=entry)
+            return self._executor.execute(payment, paths, now, entry=entry, shares=shares)
         rec = obs.RECORDER
         if rec.enabled and rec.payment_begin(payment):
             rec.payment_event(payment, "atomic_attempt", now, paths=len(paths))
-        usable: List[Tuple[Path, float]] = []
-        for raw_path in paths:
-            path = tuple(raw_path)
-            if len(path) < 2:
-                continue
-            capacity = network.path_capacity(path)
-            if capacity > 0:
-                usable.append((path, capacity))
-        total_capacity = sum(capacity for _, capacity in usable)
-        if not usable or total_capacity + 1e-9 < payment.value:
-            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
-            if rec.enabled:
-                rec.payment_event(
-                    payment, "atomic_fail", now,
-                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
-                    capacity=round(total_capacity, 9),
-                )
-            return False
-
-        # Allocate greedily by capacity, largest first, to minimize split count.
-        usable.sort(key=lambda item: item[1], reverse=True)
-        remaining = payment.value
         allocations: List[Tuple[Path, float]] = []
-        for path, capacity in usable:
-            if remaining <= 1e-9:
-                break
-            share = min(capacity, remaining)
-            allocations.append((path, share))
-            remaining -= share
-        if remaining > 1e-9:
-            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
-            if rec.enabled:
-                rec.payment_event(
-                    payment, "atomic_fail", now,
-                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
-                    unallocated=round(remaining, 9),
-                )
-            return False
+        if shares is not None:
+            for raw_path, share in zip(paths, shares):
+                path = tuple(raw_path)
+                if len(path) >= 2 and share > 1e-9:
+                    allocations.append((path, float(share)))
+            if not allocations:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        capacity=0.0,
+                    )
+                return False
+        else:
+            usable: List[Tuple[Path, float]] = []
+            for raw_path in paths:
+                path = tuple(raw_path)
+                if len(path) < 2:
+                    continue
+                capacity = network.path_capacity(path)
+                if capacity > 0:
+                    usable.append((path, capacity))
+            total_capacity = sum(capacity for _, capacity in usable)
+            if not usable or total_capacity + 1e-9 < payment.value:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        capacity=round(total_capacity, 9),
+                    )
+                return False
+
+            # Allocate greedily by capacity, largest first, to minimize split count.
+            usable.sort(key=lambda item: item[1], reverse=True)
+            remaining = payment.value
+            for path, capacity in usable:
+                if remaining <= 1e-9:
+                    break
+                share = min(capacity, remaining)
+                allocations.append((path, share))
+                remaining -= share
+            if remaining > 1e-9:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        unallocated=round(remaining, 9),
+                    )
+                return False
 
         locks: List[Tuple[object, int]] = []
         try:

@@ -243,6 +243,16 @@ class PathCatalog:
             self._store_fingerprint_version = version
         return store if self._store_fingerprint == store.fingerprint else None
 
+    def clear(self) -> None:
+        """Drop every cached entry, pinned ones included.
+
+        Schemes whose candidate paths depend on more than the topology
+        version (SpeedyMurmurs' embedding reacts to balance-driven link
+        reclassification) call this when that extra input changes, since the
+        ``topology_version`` key alone would keep their entries live.
+        """
+        self._entries.clear()
+
     def resolve(
         self,
         pair: Pair,
@@ -325,12 +335,16 @@ class AtomicBatchExecutor:
         paths: Sequence[Sequence[NodeId]],
         now: float,
         entry: Optional[CatalogEntry] = None,
+        shares: Optional[Sequence[float]] = None,
     ) -> bool:
         """Attempt ``payment`` across ``paths``, all-or-nothing.
 
         ``entry`` may carry the pre-resolved CSR of ``paths`` (from the
         catalog); ad-hoc path lists (e.g. Flash's per-elephant max-flow
-        paths) are resolved on the fly.
+        paths) are resolved on the fly.  ``shares`` (aligned with ``paths``)
+        replaces the greedy largest-first allocation with caller-computed
+        per-path amounts (waterfilling); the caller is responsible for
+        checking joint capacity first, exactly like the scalar mixin.
         """
         balances = self.balances
         balances.ensure_fresh()
@@ -338,60 +352,91 @@ class AtomicBatchExecutor:
         if rec.enabled and rec.payment_begin(payment):
             rec.payment_event(payment, "atomic_attempt", now, paths=len(paths))
 
-        usable: List[Tuple[np.ndarray, np.ndarray, float, int]] = []
-        if entry is not None and (
+        entry_aligned = entry is not None and (
             paths is entry.paths or entry.paths == [tuple(p) for p in paths]
-        ):
-            capacities = entry.capacities(balances)
-            for i, path in enumerate(entry.paths):
-                capacity = float(capacities[i])
-                if capacity > 0:
-                    lo, hi = int(entry.ptr[i]), int(entry.ptr[i + 1])
-                    usable.append(
-                        (entry.hop_rows[lo:hi], entry.hop_sides[lo:hi], capacity, hi - lo)
-                    )
-        else:
-            for raw_path in paths:
-                path = tuple(raw_path)
-                if len(path) < 2:
-                    continue
-                rows, sides = balances.resolve_path(path)
-                if np.any(rows < 0) or not np.all(balances.alive[rows]):
-                    continue
-                capacity = float(balances.balance[sides, rows].min())
-                if capacity > 0:
-                    usable.append((rows, sides, capacity, len(rows)))
-
-        total_capacity = sum(item[2] for item in usable)
-        if not usable or total_capacity + _EPS < payment.value:
-            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
-            if rec.enabled:
-                rec.payment_event(
-                    payment, "atomic_fail", now,
-                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
-                    capacity=round(total_capacity, 9),
-                )
-            return False
-
-        # Allocate greedily by capacity, largest first (stable, like list.sort).
-        usable.sort(key=lambda item: item[2], reverse=True)
-        remaining = payment.value
+        )
         allocations: List[Tuple[np.ndarray, np.ndarray, float, int]] = []
-        for rows, sides, capacity, hops in usable:
-            if remaining <= _EPS:
-                break
-            share = min(capacity, remaining)
-            allocations.append((rows, sides, share, hops))
-            remaining -= share
-        if remaining > _EPS:
-            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
-            if rec.enabled:
-                rec.payment_event(
-                    payment, "atomic_fail", now,
-                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
-                    unallocated=round(remaining, 9),
-                )
-            return False
+        if shares is not None:
+            # Caller-computed split: keep the given path order, skip
+            # zero-share paths, and resolve hops without a capacity filter
+            # (locks enforce capacity, as the scalar reference does).
+            for i, raw_path in enumerate(paths):
+                share = float(shares[i])
+                path = tuple(raw_path)
+                if len(path) < 2 or share <= _EPS:
+                    continue
+                if entry_aligned:
+                    lo, hi = int(entry.ptr[i]), int(entry.ptr[i + 1])
+                    rows, sides = entry.hop_rows[lo:hi], entry.hop_sides[lo:hi]
+                else:
+                    rows, sides = balances.resolve_path(path)
+                if np.any(rows < 0) or not np.all(balances.alive[rows]):
+                    # The scalar lock walk would raise on the missing channel;
+                    # callers allocate zero shares to dead paths, so reaching
+                    # this is a contract violation, not a routing failure.
+                    raise KeyError(f"no channel along path {path!r}")
+                allocations.append((rows, sides, share, len(rows)))
+            if not allocations:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        capacity=0.0,
+                    )
+                return False
+        else:
+            usable: List[Tuple[np.ndarray, np.ndarray, float, int]] = []
+            if entry_aligned:
+                capacities = entry.capacities(balances)
+                for i, path in enumerate(entry.paths):
+                    capacity = float(capacities[i])
+                    if capacity > 0:
+                        lo, hi = int(entry.ptr[i]), int(entry.ptr[i + 1])
+                        usable.append(
+                            (entry.hop_rows[lo:hi], entry.hop_sides[lo:hi], capacity, hi - lo)
+                        )
+            else:
+                for raw_path in paths:
+                    path = tuple(raw_path)
+                    if len(path) < 2:
+                        continue
+                    rows, sides = balances.resolve_path(path)
+                    if np.any(rows < 0) or not np.all(balances.alive[rows]):
+                        continue
+                    capacity = float(balances.balance[sides, rows].min())
+                    if capacity > 0:
+                        usable.append((rows, sides, capacity, len(rows)))
+
+            total_capacity = sum(item[2] for item in usable)
+            if not usable or total_capacity + _EPS < payment.value:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        capacity=round(total_capacity, 9),
+                    )
+                return False
+
+            # Allocate greedily by capacity, largest first (stable, like list.sort).
+            usable.sort(key=lambda item: item[2], reverse=True)
+            remaining = payment.value
+            for rows, sides, capacity, hops in usable:
+                if remaining <= _EPS:
+                    break
+                share = min(capacity, remaining)
+                allocations.append((rows, sides, share, hops))
+                remaining -= share
+            if remaining > _EPS:
+                payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+                if rec.enabled:
+                    rec.payment_event(
+                        payment, "atomic_fail", now,
+                        reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                        unallocated=round(remaining, 9),
+                    )
+                return False
 
         # Lock phase: sequential subtraction in scalar order; paths may share
         # channels (landmark routes), so a later lock can still fail.  The

@@ -1,0 +1,160 @@
+"""Waterfilling: residual-capacity-balanced multi-path routing.
+
+The classic balance-aware source-routing baseline (Spider's eponymous
+heuristic, also in the segflow exemplar): the sender probes up to ``k``
+edge-disjoint shortest paths and splits the payment so the paths'
+*residual* bottleneck capacities equalize -- funds are poured onto the
+currently-widest path until its headroom levels with the next one,
+instead of filling paths to capacity greedily.  The split itself is still
+attempted atomically (all-or-nothing, HTLC-style), so the scheme slots
+into the same executor machinery as the other atomic baselines via the
+``shares`` hook of :meth:`~repro.baselines.base.AtomicRoutingMixin.execute_atomic`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import (
+    AtomicRoutingMixin,
+    NodeId,
+    Path,
+    RoutingScheme,
+    SchemeStepReport,
+    SourceComputationModel,
+)
+from repro.obs import core as obs
+from repro.routing.paths import edge_disjoint_shortest_paths
+from repro.routing.transaction import FailureReason, Payment
+from repro.simulator.workload import TransactionRequest
+from repro.topology.channel import EPS
+from repro.topology.network import PCNetwork
+
+
+def waterfill_shares(capacities: Sequence[float], value: float) -> List[float]:
+    """Split ``value`` across paths so residual capacities equalize.
+
+    Lowers a single water level over the capacity profile: paths above the
+    level carry ``capacity - level``, paths below carry nothing.  Pure
+    scalar arithmetic in a deterministic order, so both execution backends
+    compute bit-identical splits from bit-identical capacities.  When the
+    joint capacity cannot cover ``value`` every path is filled completely
+    (callers reject that case up front).
+    """
+    if not capacities:
+        return []
+    order = sorted(range(len(capacities)), key=lambda i: (-capacities[i], i))
+    n = len(order)
+    level = float(capacities[order[0]])
+    k = 1
+    remaining = float(value)
+    while remaining > 0.0 and level > 0.0:
+        next_level = float(capacities[order[k]]) if k < n else 0.0
+        drop = (level - next_level) * k
+        if drop >= remaining:
+            level -= remaining / k
+            remaining = 0.0
+        else:
+            remaining -= drop
+            level = next_level
+            if k < n:
+                k += 1
+    shares = [0.0] * len(capacities)
+    for i, capacity in enumerate(capacities):
+        if capacity > level:
+            shares[i] = float(capacity) - level
+    # Absorb float drift into the widest path so the shares sum to ``value``
+    # exactly (clamped to its capacity, which tolerates at most EPS slack).
+    drift = float(value) - sum(shares)
+    if drift != 0.0:
+        widest = order[0]
+        shares[widest] = min(float(capacities[widest]), max(shares[widest] + drift, 0.0))
+    return shares
+
+
+class WaterfillingScheme(AtomicRoutingMixin, RoutingScheme):
+    """Atomic multi-path routing with waterfilling splits."""
+
+    name = "waterfilling"
+
+    def __init__(
+        self,
+        paths_per_payment: int = 4,
+        timeout: float = 3.0,
+        computation: Optional[SourceComputationModel] = None,
+        backend: str = "numpy",
+    ) -> None:
+        super().__init__()
+        if paths_per_payment < 1:
+            raise ValueError("need at least one path per payment")
+        self.paths_per_payment = paths_per_payment
+        self.timeout = timeout
+        self.computation = computation or SourceComputationModel()
+        self.backend = backend
+        self._report = SchemeStepReport()
+
+    def prepare(self, network: PCNetwork, rng: Optional[np.random.Generator] = None) -> None:
+        super().prepare(network, rng)
+        self._init_backend(network, self.backend)
+        self._report = SchemeStepReport()
+
+    def _candidate_paths(self, sender: NodeId, recipient: NodeId):
+        """Edge-disjoint shortest paths plus (array backend) their entry."""
+        network = self._require_network()
+        k = self.paths_per_payment
+        if self._executor is None:
+            return edge_disjoint_shortest_paths(network, sender, recipient, k), None
+        entry, _computed = self._executor.catalog.resolve(
+            (sender, recipient),
+            lambda: edge_disjoint_shortest_paths(network, sender, recipient, k),
+            store_key=("eds", k),
+        )
+        return entry.paths, entry
+
+    def _path_capacities(self, paths: Sequence[Path], entry) -> List[float]:
+        """Bottleneck capacities read from whichever state is authoritative."""
+        if self._executor is not None and entry is not None:
+            return [float(c) for c in entry.capacities(self._executor.balances)]
+        network = self._require_network()
+        return [network.path_capacity(path) for path in paths]
+
+    def submit(self, request: TransactionRequest, now: float) -> Payment:
+        network = self._require_network()
+        payment = Payment.create(
+            sender=request.sender,
+            recipient=request.recipient,
+            value=request.value,
+            created_at=now,
+            timeout=self.timeout,
+        )
+        paths, entry = self._candidate_paths(request.sender, request.recipient)
+        # One balance probe per hop per candidate path.
+        self.control_messages += sum(len(path) - 1 for path in paths)
+        if not paths:
+            payment.fail(FailureReason.NO_PATH)
+            self._report.failed.append(payment)
+            return payment
+        capacities = self._path_capacities(paths, entry)
+        total = sum(capacities)
+        if total + EPS < payment.value:
+            payment.fail(FailureReason.INSUFFICIENT_CAPACITY)
+            rec = obs.RECORDER
+            if rec.enabled and rec.payment_begin(payment):
+                rec.payment_event(
+                    payment, "atomic_fail", now,
+                    reason=FailureReason.INSUFFICIENT_CAPACITY.value,
+                    capacity=round(total, 9),
+                )
+            self._report.failed.append(payment)
+            return payment
+        shares = waterfill_shares(capacities, payment.value)
+        if self.execute_atomic(network, payment, paths, now, entry=entry, shares=shares):
+            self._report.completed.append(payment)
+        else:
+            self._report.failed.append(payment)
+        return payment
+
+    def extra_delay(self, payment: Payment) -> float:
+        return self.computation.delay_for(self._require_network().node_count())

@@ -21,6 +21,10 @@ benchmark groups:
   source-routing baselines replayed over one workload with epoch-batched
   dispatch, once per execution backend; the ``python``/``numpy`` pair gates
   the batched baseline backends.
+* ``scheme-zoo`` -- the non-source-routing additions to the comparison
+  (SpeedyMurmurs' embedding routing with churn-reactive repair, and the
+  waterfilling splitter) replayed over one workload, once per execution
+  backend; the ``python``/``numpy`` pair gates their batched executors.
 * ``placement-solver`` -- the placement facade on the same topology family
   (exact method at small scale, double-greedy above), once per execution
   backend; the ``python``/``numpy`` pair gates the vectorized placement
@@ -355,6 +359,69 @@ def _fig8_compare_specs(scale: str) -> List[BenchmarkSpec]:
 
 
 # ---------------------------------------------------------------------- #
+# scheme zoo (SpeedyMurmurs + waterfilling)
+# ---------------------------------------------------------------------- #
+class _SchemeZooState:
+    """The embedding and waterfilling schemes replayed over one workload.
+
+    Same shape as the fig8-compare state, but the work profile is very
+    different: SpeedyMurmurs spends its time in BFS embedding builds and
+    greedy coordinate walks, waterfilling in edge-disjoint path generation
+    and the shares hook of the atomic executor.
+    """
+
+    def __init__(self, nodes: int, duration: float, arrival_rate: float, backend: str) -> None:
+        from repro.baselines import SpeedyMurmursScheme, WaterfillingScheme
+
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=4,
+            rewire_probability=0.2,
+            uniform_channel_size=200.0,
+            candidate_fraction=0.2,
+            seed=17,
+        )
+        self.workload = generate_workload(
+            self.network,
+            WorkloadConfig(duration=duration, arrival_rate=arrival_rate, seed=23),
+        )
+        self.runner = ExperimentRunner(self.network, self.workload, step_size=0.1)
+        self._factories = [
+            lambda: SpeedyMurmursScheme(backend=backend),
+            lambda: WaterfillingScheme(backend=backend),
+        ]
+
+    def step(self) -> None:
+        self.runner.run(
+            [factory() for factory in self._factories], rng=np.random.default_rng(9)
+        )
+
+
+def _scheme_zoo_specs(scale: str) -> List[BenchmarkSpec]:
+    params = SCALES[scale]
+    nodes = int(params["nodes"])
+    duration = float(params["duration"])
+    arrival_rate = float(params["arrival_rate"])
+    specs = []
+    for backend in ("python", "numpy"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"scheme-zoo/{scale}/{backend}",
+                group="scheme-zoo",
+                scale=scale,
+                variant=backend,
+                setup=lambda backend=backend: _SchemeZooState(
+                    nodes, duration, arrival_rate, backend
+                ),
+                fn=lambda state: state.step(),
+                inner=1,
+                meta={"nodes": nodes, "duration": duration, "arrival_rate": arrival_rate},
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------- #
 # placement solver
 # ---------------------------------------------------------------------- #
 class _PlacementState:
@@ -422,6 +489,7 @@ def build_suite(scale: str) -> List[BenchmarkSpec]:
         _scenario_run_spec(scale),
         *_path_generation_specs(scale),
         *_fig8_compare_specs(scale),
+        *_scheme_zoo_specs(scale),
         *_placement_specs(scale),
     ]
 

@@ -131,7 +131,9 @@ class PlacementSolver:
         problem: The placement instance to solve.
         method: One of :data:`METHODS`; ``"auto"`` picks an exact method for
             small candidate sets and the double-greedy approximation otherwise.
-        seed: Seed for the randomized double-greedy variant.
+        seed: Seed for the randomized double-greedy variant.  Defaults to a
+            constant so repeated solves are reproducible; seeding from OS
+            entropy is opt-in via ``seed=None``.
         deterministic_greedy: Use the deterministic double-greedy variant.
         local_search: Polish the greedy output with single-swap local search.
         small_scale_limit: Candidate-count threshold for ``"auto"``.
@@ -139,7 +141,7 @@ class PlacementSolver:
 
     problem: PlacementProblem
     method: str = "auto"
-    seed: Optional[int] = None
+    seed: Optional[int] = 0
     deterministic_greedy: bool = False
     local_search: bool = True
     small_scale_limit: int = SMALL_SCALE_CANDIDATE_LIMIT
@@ -208,7 +210,7 @@ def solve_placement(
     network_or_problem: Union[PCNetwork, PlacementProblem],
     omega: float = 0.05,
     method: str = "auto",
-    seed: Optional[int] = None,
+    seed: Optional[int] = 0,
     backend: Optional[str] = None,
     **solver_options: object,
 ) -> PlacementPlan:

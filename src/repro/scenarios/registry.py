@@ -19,6 +19,9 @@ the dynamic/adversarial conditions the reproduction adds on top:
 ``real-trace``        Real graph x real payments: the bundled Lightning
                       snapshot replayed against the bundled Ripple trace
                       through the source-provider API.
+``scheme-zoo``        The embedding/flow-router zoo: SpeedyMurmurs and
+                      waterfilling against splicer/spider under channel
+                      churn (the coordinate-repair stress test).
 ====================  =====================================================
 
 Register custom scenarios with :func:`register_scenario`.
@@ -304,6 +307,37 @@ def real_trace() -> ScenarioSpec:
         topology=TopologySpec(source={"kind": "lightning-snapshot"}),
         workload=WorkloadSpec(duration=8.0, source={"kind": "ripple-trace"}),
         schemes=_all_schemes(),
+        seeds=[1, 2],
+    )
+
+
+@register_scenario
+def scheme_zoo() -> ScenarioSpec:
+    """The newer baselines against the rate-based schemes, under churn.
+
+    Churn is the point: SpeedyMurmurs' landmark-tree coordinates must
+    repair on every channel close/reopen, so this scenario doubles as the
+    dynamics-hook stress test for embedding-state schemes.
+    """
+    return ScenarioSpec(
+        name="scheme-zoo",
+        description="SpeedyMurmurs + waterfilling vs splicer/spider under channel churn",
+        topology=_paper_topology(),
+        workload=WorkloadSpec(),
+        schemes=[
+            SchemeSpec(name="splicer"),
+            SchemeSpec(name="spider"),
+            SchemeSpec(name="speedymurmurs"),
+            SchemeSpec(name="waterfilling"),
+        ],
+        dynamics=[
+            DynamicsEventSpec(
+                kind="churn",
+                time=1.0,
+                duration=2.0,
+                params={"count": 30, "start": 1.0, "end": 6.0, "down_time": 2.0},
+            )
+        ],
         seeds=[1, 2],
     )
 

@@ -15,7 +15,9 @@ from repro.baselines import (
     FlashScheme,
     LandmarkScheme,
     ShortestPathScheme,
+    SpeedyMurmursScheme,
     SpiderScheme,
+    WaterfillingScheme,
 )
 from repro.baselines.base import AtomicRoutingMixin, RoutingScheme, SchemeStepReport
 from repro.routing.transaction import Payment
@@ -32,6 +34,8 @@ SCHEME_FACTORIES = {
     "landmark": lambda backend: LandmarkScheme(backend=backend),
     "flash": lambda backend: FlashScheme(backend=backend, seed=3),
     "spider": lambda backend: SpiderScheme(backend=backend),
+    "speedymurmurs": lambda backend: SpeedyMurmursScheme(backend=backend),
+    "waterfilling": lambda backend: WaterfillingScheme(backend=backend),
 }
 
 
@@ -129,11 +133,13 @@ class TestStaticEquivalence:
 
 
 @pytest.mark.parametrize("dynamics_kind", ["churn", "jamming"])
-@pytest.mark.parametrize("scheme_name", ["flash", "landmark", "shortest-path"])
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
 class TestDynamicEquivalence:
     """Mid-run topology churn and jamming: path catalogs and the balance
     mirror must invalidate exactly when the scalar reference sees the
-    mutation, including Flash's deliberately stale mouse-path pools."""
+    mutation, including Flash's deliberately stale mouse-path pools,
+    Spider's price-table placeholder rows and SpeedyMurmurs' embedding
+    repair."""
 
     def test_backends_agree(self, scheme_name, dynamics_kind):
         _assert_equivalent(

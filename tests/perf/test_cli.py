@@ -35,12 +35,15 @@ def test_perf_cli_emits_report_updates_baseline_and_gates(tmp_path, capsys):
         "path-generation/small/numpy",
         "fig8-compare/small/python",
         "fig8-compare/small/numpy",
+        "scheme-zoo/small/python",
+        "scheme-zoo/small/numpy",
         "placement-solver/small/python",
         "placement-solver/small/numpy",
     }
     assert "routing-step/small" in payload["speedups"]
     assert "path-generation/small" in payload["speedups"]
     assert "fig8-compare/small" in payload["speedups"]
+    assert "scheme-zoo/small" in payload["speedups"]
     assert "placement-solver/small" in payload["speedups"]
     assert payload["calibration_seconds"] > 0
     assert os.path.exists(baseline)

@@ -108,3 +108,62 @@ class TestCompareCli:
 
     def test_empty_scheme_list_is_an_error(self):
         assert cli_main(["compare", "--schemes", ",,"]) == 2
+
+
+class TestCompareCliErrorPaths:
+    """Bad inputs exit with a clean one-line error, never a traceback.
+
+    ``cli_main`` returning 2 (instead of raising) is the no-traceback
+    guarantee; the stderr assertions pin the message quality.
+    """
+
+    def _fails_cleanly(self, capsys, argv, *needles):
+        assert cli_main(argv) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        for needle in needles:
+            assert needle in err
+        return err
+
+    def test_unknown_scheme_name(self, capsys):
+        err = self._fails_cleanly(
+            capsys, ["compare", "--schemes", "splicer,warpspeed"],
+            "unknown scheme", "warpspeed",
+        )
+        # The error names the valid choices so the fix is self-evident.
+        assert "splicer" in err
+
+    def test_malformed_topology_source_json(self, capsys):
+        self._fails_cleanly(
+            capsys,
+            ["compare", "--schemes", "splicer", "--topology-source", "{not json"],
+            "--topology-source", "invalid JSON",
+        )
+
+    def test_malformed_workload_source_json(self, capsys):
+        self._fails_cleanly(
+            capsys,
+            ["compare", "--schemes", "splicer", "--workload-source", '{"kind": '],
+            "--workload-source", "invalid JSON",
+        )
+
+    def test_bare_source_name_gets_a_named_error(self, capsys):
+        # Non-JSON values are name shortcuts; unknown names also exit clean.
+        self._fails_cleanly(
+            capsys,
+            ["compare", "--schemes", "splicer", "--workload-source", "no-such-trace"],
+            "unknown workload source", "no-such-trace",
+        )
+
+    def test_source_descriptor_missing_kind(self, capsys):
+        self._fails_cleanly(
+            capsys,
+            ["compare", "--schemes", "splicer", "--topology-source", '{"path": "x"}'],
+            "--topology-source", "kind",
+        )
+
+    def test_run_rejects_unknown_scheme_override(self, capsys):
+        self._fails_cleanly(
+            capsys, ["run", "scheme-zoo", "--schemes", "warpspeed"],
+            "unknown scheme", "warpspeed",
+        )

@@ -1,0 +1,133 @@
+"""Regression suite for the runner's dynamics-hook bracketing.
+
+Every network mutation the :class:`ExperimentRunner` performs -- a dynamics
+event *applying*, its timed *revert* firing, and the end-of-run unwinding of
+still-outstanding undos -- must be bracketed by the scheme's fast-path
+hooks: ``flush_state()`` immediately before (so channel objects are
+authoritative when the mutation reads or rewrites balances) and
+``on_network_change()`` immediately after (so mirrors and caches
+invalidate).  A missed hook on any of the three paths silently corrupts
+array-backend state; this suite pins the bracketing with a hook-recording
+stub scheme whose records fail loudly if a mutation ever lands outside a
+flush/change pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import RoutingScheme, SchemeStepReport
+from repro.routing.transaction import FailureReason, Payment
+from repro.scenarios.dynamics import churn_events, jamming_events
+from repro.simulator.experiment import ExperimentRunner
+from repro.simulator.workload import WorkloadConfig, generate_workload
+from repro.topology.generators import watts_strogatz_pcn
+
+
+class HookRecordingScheme(RoutingScheme):
+    """Routes nothing; records every hook call with a network fingerprint.
+
+    The fingerprint captures both mutation families the dynamics layer can
+    perform: the topology version (churn adds/removes channels and nodes)
+    and the total locked liquidity (jamming locks funds without touching
+    the graph).  Because the scheme itself never locks or settles anything,
+    any fingerprint movement is attributable to the runner's mutations.
+    """
+
+    name = "hook-recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.records = []
+
+    def _fingerprint(self):
+        network = self._require_network()
+        locked = sum(channel.locked_total() for channel in network.channels())
+        return (network.topology_version, round(locked, 9))
+
+    def prepare(self, network, rng=None):
+        super().prepare(network, rng)
+        self.records = [("prepare", self._fingerprint())]
+
+    def submit(self, request, now):
+        payment = Payment.create(
+            sender=request.sender,
+            recipient=request.recipient,
+            value=request.value,
+            created_at=now,
+            timeout=1.0,
+        )
+        payment.fail(FailureReason.NO_PATH)
+        return payment
+
+    def step(self, now, dt):
+        return SchemeStepReport()
+
+    def flush_state(self):
+        self.records.append(("flush", self._fingerprint()))
+
+    def on_network_change(self):
+        self.records.append(("change", self._fingerprint()))
+
+
+def _run_with_dynamics(dynamics_kind):
+    network = watts_strogatz_pcn(
+        24,
+        nearest_neighbors=4,
+        rewire_probability=0.3,
+        uniform_channel_size=60.0,
+        seed=7,
+    )
+    workload = generate_workload(
+        network, WorkloadConfig(duration=4.0, arrival_rate=5.0, seed=1)
+    )
+    if dynamics_kind == "churn":
+        events = churn_events(
+            network, np.random.default_rng(5), count=8, start=0.5, end=3.0, down_time=1.0
+        )
+    else:
+        events = jamming_events(network, at=0.5, duration=2.0, count=5, fraction=0.9)
+    runner = ExperimentRunner(network, workload, step_size=0.1, dynamics=events)
+    scheme = HookRecordingScheme()
+    runner.run_single(scheme, rng=np.random.default_rng(0))
+    return scheme.records
+
+
+@pytest.mark.parametrize("dynamics_kind", ["churn", "jamming"])
+class TestDynamicsHookBracketing:
+    def test_every_mutation_is_bracketed(self, dynamics_kind):
+        """The fingerprint only ever moves between a flush and a change.
+
+        This single invariant covers all three mutation paths (apply, timed
+        revert, end-of-run undo unwinding): if any of them skipped the
+        pre-mutation ``flush_state`` or the post-mutation
+        ``on_network_change``, the movement would land across some other
+        pair of consecutive records and the assertion would name it.
+        """
+        records = _run_with_dynamics(dynamics_kind)
+        for (kind_before, fp_before), (kind_after, fp_after) in zip(records, records[1:]):
+            if fp_after != fp_before:
+                assert (kind_before, kind_after) == ("flush", "change"), (
+                    f"network mutated between hook calls {kind_before!r} -> "
+                    f"{kind_after!r} (fingerprint {fp_before} -> {fp_after})"
+                )
+
+    def test_applies_and_reverts_both_fire(self, dynamics_kind):
+        """Both directions of the mutation are exercised, not just apply."""
+        records = _run_with_dynamics(dynamics_kind)
+        bracketed = [
+            (fp_before, fp_after)
+            for (kind_before, fp_before), (kind_after, fp_after) in zip(records, records[1:])
+            if fp_after != fp_before and (kind_before, kind_after) == ("flush", "change")
+        ]
+        # At least one apply and one revert moved the fingerprint.
+        assert len(bracketed) >= 2
+        if dynamics_kind == "jamming":
+            # Jamming must fully unwind: the last change restores the
+            # zero-locked baseline recorded at prepare time.
+            assert records[-1][1] == records[0][1]
+
+    def test_run_ends_with_final_invalidation(self, dynamics_kind):
+        """The finally-block restores and announces the original network."""
+        records = _run_with_dynamics(dynamics_kind)
+        assert records[-1][0] == "change"
+        assert records[-2][0] == "flush"
