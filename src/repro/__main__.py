@@ -41,7 +41,7 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table, scenario_table
 from repro.baselines import SCHEME_REGISTRY
@@ -190,6 +190,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--arrival-rate", type=float, help="override the scale's arrival rate (payments/s)"
     )
     compare.add_argument(
+        "--payments",
+        type=int,
+        help=(
+            "override the scale's offered payment count (sets the arrival "
+            "rate to payments/duration); mutually exclusive with "
+            "--arrival-rate"
+        ),
+    )
+    compare.add_argument(
+        "--engine",
+        choices=["events", "epoch"],
+        default=None,
+        help=(
+            "simulation engine: the per-event reference loop or the "
+            "array-native epoch stepper (decision-identical; default epoch "
+            "at the xl scale, events elsewhere)"
+        ),
+    )
+    compare.add_argument(
+        "--shared-memory",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "share each seed's topology across worker processes via a "
+            "read-only shared-memory block instead of rebuilding it per "
+            "shard (default on at the xl scale, off elsewhere)"
+        ),
+    )
+    compare.add_argument(
         "--results-dir",
         default=os.path.join("results", "compare"),
         help="directory for the JSONL results (default results/compare)",
@@ -327,9 +356,12 @@ def _build_parser() -> argparse.ArgumentParser:
     perf = commands.add_parser("perf", help="run the performance benchmark suites")
     perf.add_argument(
         "--suite",
-        choices=["small", "medium", "large", "all"],
+        choices=["small", "medium", "large", "xl-small", "all"],
         default="all",
-        help="which scale to run (default all three)",
+        help=(
+            "which scale to run: the classic three, the xl-small "
+            "engine-overhead suite, or all of them (default all)"
+        ),
     )
     perf.add_argument(
         "--repeats", type=int, default=5, help="timed repeats per benchmark (default 5)"
@@ -598,6 +630,22 @@ def _check_scheme_names(names: Sequence[str]) -> None:
         )
 
 
+def _peak_memory_mib() -> Optional[Tuple[float, float]]:
+    """Peak RSS of this process and its worker children, in MiB.
+
+    The figure the xl memory ceiling is documented (and CI-grepped)
+    against; ``None`` where the ``resource`` module is unavailable.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    scale = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    runner_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / scale
+    worker_mib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / scale
+    return runner_mib, worker_mib
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     schemes = [part.strip() for part in args.schemes.split(",") if part.strip()]
     scales = [part.strip() for part in args.scale.split(",") if part.strip()]
@@ -608,6 +656,8 @@ def _command_compare(args: argparse.Namespace) -> int:
         raise ValueError("--scale must name at least one scale")
     if not seeds:
         raise ValueError("--seeds must name at least one seed")
+    if args.payments is not None and args.arrival_rate is not None:
+        raise ValueError("--payments and --arrival-rate are mutually exclusive")
     _check_scheme_names(schemes)
 
     for scale in scales:
@@ -620,15 +670,24 @@ def _command_compare(args: argparse.Namespace) -> int:
             nodes=args.nodes,
             topology_source=_parse_source_flag(args.topology_source, "--topology-source"),
             workload_source=_parse_source_flag(args.workload_source, "--workload-source"),
+            engine=args.engine,
         )
         if args.arrival_rate is not None:
             spec.workload.arrival_rate = args.arrival_rate
+        if args.payments is not None:
+            spec.workload.arrival_rate = args.payments / spec.workload.duration
         if not args.no_path_cache:
             spec.path_cache_dir = args.path_cache_dir or os.path.join(
                 args.results_dir, "path-cache"
             )
         spec.obs = _obs_settings(args)
-        runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
+        shared = args.shared_memory if args.shared_memory is not None else scale == "xl"
+        runner = ScenarioRunner(
+            spec,
+            results_dir=args.results_dir,
+            workers=args.workers,
+            shared_topology=shared,
+        )
         total = len(spec.expand_runs())
         source_kind, source_params = spec.topology.resolved_source()
         nodes = source_params.get("node_count") or source_params.get("max_nodes") or source_kind
@@ -662,6 +721,15 @@ def _command_compare(args: argparse.Namespace) -> int:
             skipped=report.skipped,
             seconds=round(elapsed, 3),
         )
+        peak = _peak_memory_mib()
+        if peak is not None:
+            runner_mib, worker_mib = peak
+            log.info(
+                f"peak memory: runner {runner_mib:.0f} MiB, "
+                f"max worker {worker_mib:.0f} MiB",
+                runner_mib=round(runner_mib, 1),
+                worker_mib=round(worker_mib, 1),
+            )
         cache_rows = [row["path_cache"] for row in report.rows if "path_cache" in row]
         if cache_rows:
             hits = sum(int(entry.get("hits", 0)) for entry in cache_rows)
@@ -861,7 +929,7 @@ def _command_perf(args: argparse.Namespace) -> int:
     if args.json_output:
         # The JSON report owns stdout; progress/summary lines move to stderr.
         configure(stream=sys.stderr)
-    scales = ["small", "medium", "large"] if args.suite == "all" else [args.suite]
+    scales = ["small", "medium", "large", "xl-small"] if args.suite == "all" else [args.suite]
     specs = build_suites(scales)
     log.info(f"perf: {len(specs)} benchmark(s) across suite(s) {', '.join(scales)}")
 
@@ -881,7 +949,7 @@ def _command_perf(args: argparse.Namespace) -> int:
 
     report = run_specs(specs, repeats=args.repeats, on_record=on_record)
     for key, ratio in report.speedups().items():
-        log.info(f"  speedup {key:<20} python/numpy = {ratio:.2f}x")
+        log.info(f"  speedup {key:<20} reference/fast = {ratio:.2f}x")
 
     os.makedirs(args.output_dir, exist_ok=True)
     report_path = os.path.join(args.output_dir, default_report_name(report.revision))

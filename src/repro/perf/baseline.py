@@ -24,17 +24,32 @@ DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
 #: Allowed normalized-time growth before a benchmark counts as regressed.
 DEFAULT_TOLERANCE = 0.25
 
+#: Allowed peak-memory growth before a benchmark counts as regressed.  Peak
+#: tracemalloc numbers are far more stable across machines than wall-clock
+#: times (no calibration needed), but allocator and version noise still
+#: exists, so the ceiling is generous: memory gating is for catching a
+#: structure accidentally materialized per item, not 5% drift.
+DEFAULT_MEMORY_TOLERANCE = 0.50
+
 
 @dataclass
 class BaselineEntry:
-    """Stored expectation for one benchmark."""
+    """Stored expectation for one benchmark.
+
+    ``peak_mib`` of 0 means the entry predates the memory probe (or the run
+    was profiled externally); such entries gate on time only.
+    """
 
     name: str
     normalized: float
     best_seconds: float
+    peak_mib: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {"normalized": self.normalized, "best_seconds": self.best_seconds}
+        data = {"normalized": self.normalized, "best_seconds": self.best_seconds}
+        if self.peak_mib > 0:
+            data["peak_mib"] = self.peak_mib
+        return data
 
 
 @dataclass
@@ -62,8 +77,9 @@ class BaselineComparison:
     def summary_lines(self) -> List[str]:
         lines = []
         for name, base, current, ratio in self.regressions:
+            unit = "peak MiB" if name.endswith(" [memory]") else "normalized"
             lines.append(
-                f"REGRESSION {name}: normalized {current:.3f} vs baseline {base:.3f} "
+                f"REGRESSION {name}: {unit} {current:.3f} vs baseline {base:.3f} "
                 f"({(ratio - 1.0) * 100.0:+.1f}%, tolerance {self.tolerance * 100.0:.0f}%)"
             )
         for name in self.missing:
@@ -92,6 +108,7 @@ def load_baseline(path: str = DEFAULT_BASELINE_PATH) -> Optional[Dict[str, Basel
             name=name,
             normalized=float(stored["normalized"]),
             best_seconds=float(stored.get("best_seconds", 0.0)),
+            peak_mib=float(stored.get("peak_mib", 0.0)),
         )
     return entries
 
@@ -120,6 +137,7 @@ def compare_report(
     baseline: Dict[str, BaselineEntry],
     tolerance: float = DEFAULT_TOLERANCE,
     improvement_margin: float = 0.10,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
 ) -> BaselineComparison:
     """Compare a report's normalized times against the baseline entries.
 
@@ -128,9 +146,16 @@ def compare_report(
     the gate.  Benchmarks faster than baseline by more than
     ``improvement_margin`` are listed as improvements (a hint to re-baseline
     so future regressions are caught from the new level).
+
+    Benchmarks whose baseline entry stores a ``peak_mib`` additionally gate
+    on memory: a peak above the baseline by more than ``memory_tolerance``
+    is a regression (reported as ``<name> [memory]``), so an accidental
+    per-item materialization fails CI exactly like a slowdown.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
+    if memory_tolerance < 0:
+        raise ValueError("memory_tolerance must be non-negative")
     comparison = BaselineComparison(tolerance=tolerance)
     seen = set()
     for record in report.records:
@@ -139,6 +164,12 @@ def compare_report(
         if entry is None:
             comparison.new.append(record.name)
             continue
+        if entry.peak_mib > 0 and record.peak_mib > 0:
+            memory_ratio = record.peak_mib / entry.peak_mib
+            if memory_ratio > 1.0 + memory_tolerance:
+                comparison.regressions.append(
+                    (f"{record.name} [memory]", entry.peak_mib, record.peak_mib, memory_ratio)
+                )
         if entry.normalized <= 0:
             comparison.unchanged.append(record.name)
             continue
@@ -175,6 +206,7 @@ def update_baseline(report: BenchmarkReport, path: str = DEFAULT_BASELINE_PATH) 
             name=record.name,
             normalized=record.normalized,
             best_seconds=record.best_seconds,
+            peak_mib=record.peak_mib,
         )
     payload = {
         "schema": 1,

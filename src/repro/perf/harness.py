@@ -16,6 +16,7 @@ import platform
 import subprocess
 import sys
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -53,7 +54,13 @@ class BenchmarkSpec:
 
 @dataclass
 class BenchmarkRecord:
-    """Measured result of one benchmark."""
+    """Measured result of one benchmark.
+
+    ``peak_mib`` is the tracemalloc peak of one untimed iteration (the
+    warmup call), in MiB -- the memory dimension of the regression gate.
+    Memory is measured outside the timed repeats, so the probe's overhead
+    never touches the reported times.
+    """
 
     name: str
     group: str
@@ -64,6 +71,7 @@ class BenchmarkRecord:
     best_seconds: float
     mean_seconds: float
     normalized: float
+    peak_mib: float = 0.0
     meta: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -77,6 +85,7 @@ class BenchmarkRecord:
             "best_seconds": self.best_seconds,
             "mean_seconds": self.mean_seconds,
             "normalized": self.normalized,
+            "peak_mib": self.peak_mib,
             "meta": dict(self.meta),
         }
 
@@ -92,6 +101,7 @@ class BenchmarkRecord:
             best_seconds=float(data["best_seconds"]),
             mean_seconds=float(data["mean_seconds"]),
             normalized=float(data["normalized"]),
+            peak_mib=float(data.get("peak_mib", 0.0)),
             meta=dict(data.get("meta", {})),
         )
 
@@ -113,7 +123,11 @@ class BenchmarkReport:
         raise KeyError(f"no benchmark record named {name!r}")
 
     def speedups(self) -> Dict[str, float]:
-        """``python / numpy`` best-time ratios per (group, scale) pair."""
+        """Reference/fast best-time ratios per (group, scale) pair.
+
+        Covers both gated variant pairs: the backend pair (``python`` over
+        ``numpy``) and the engine pair (``events`` over ``epoch``).
+        """
         by_key: Dict[tuple, Dict[str, float]] = {}
         for record in self.records:
             by_key.setdefault((record.group, record.scale), {})[record.variant] = (
@@ -121,8 +135,9 @@ class BenchmarkReport:
             )
         ratios = {}
         for (group, scale), variants in sorted(by_key.items()):
-            if "python" in variants and "numpy" in variants and variants["numpy"] > 0:
-                ratios[f"{group}/{scale}"] = variants["python"] / variants["numpy"]
+            for reference, fast in (("python", "numpy"), ("events", "epoch")):
+                if reference in variants and fast in variants and variants[fast] > 0:
+                    ratios[f"{group}/{scale}"] = variants[reference] / variants[fast]
         return ratios
 
     def as_dict(self) -> Dict[str, object]:
@@ -163,6 +178,28 @@ def _time_once(fn: Callable[[object], None], state: object, inner: int) -> float
     for _ in range(inner):
         fn(state)
     return (time.perf_counter() - started) / inner
+
+
+def _warmup_with_memory_probe(
+    fn: Callable[[object], None], state: object, inner: int
+) -> float:
+    """Run the untimed warmup under tracemalloc; return its peak in MiB.
+
+    Doubles as the warmup (caches, lazy imports) and the memory probe: the
+    tracing overhead lives entirely outside the timed repeats.  When
+    tracemalloc is already running (e.g. the whole process is being
+    profiled), the probe stays out of its way and reports 0.
+    """
+    if tracemalloc.is_tracing():  # pragma: no cover - external profiling run
+        _time_once(fn, state, inner)
+        return 0.0
+    tracemalloc.start()
+    try:
+        _time_once(fn, state, inner)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024.0 * 1024.0)
 
 
 def calibrate(repeats: int = 5) -> float:
@@ -208,9 +245,9 @@ def run_spec(
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     state = spec.setup()
-    _time_once(spec.fn, state, spec.inner)  # warmup: caches, lazy imports
+    peak_mib = _warmup_with_memory_probe(spec.fn, state, spec.inner)
     times = [_time_once(spec.fn, state, spec.inner) for _ in range(repeats)]
-    return _build_record(spec, times, calibration_seconds)
+    return _build_record(spec, times, calibration_seconds, peak_mib=peak_mib)
 
 
 def _build_record(
@@ -218,6 +255,7 @@ def _build_record(
     times: List[float],
     calibration_seconds: float,
     normalized: Optional[float] = None,
+    peak_mib: float = 0.0,
 ) -> BenchmarkRecord:
     best = min(times)
     return BenchmarkRecord(
@@ -230,6 +268,7 @@ def _build_record(
         best_seconds=best,
         mean_seconds=sum(times) / len(times),
         normalized=normalized if normalized is not None else best / max(calibration_seconds, 1e-12),
+        peak_mib=peak_mib,
         meta=dict(spec.meta),
     )
 
@@ -258,9 +297,10 @@ def run_specs(
         raise ValueError("repeats must be at least 1")
     passes = max(1, min(passes, repeats))
     states = []
+    peaks: List[float] = []
     for spec in specs:
         state = spec.setup()
-        _time_once(spec.fn, state, spec.inner)  # warmup: caches, lazy imports
+        peaks.append(_warmup_with_memory_probe(spec.fn, state, spec.inner))
         states.append(state)
     times: List[List[float]] = [[] for _ in specs]
     normalized: List[float] = [float("inf") for _ in specs]
@@ -278,7 +318,9 @@ def run_specs(
     calibration_seconds = min(calibrations)
     records = []
     for index, (spec, spec_times) in enumerate(zip(specs, times)):
-        record = _build_record(spec, spec_times, calibration_seconds, normalized[index])
+        record = _build_record(
+            spec, spec_times, calibration_seconds, normalized[index], peak_mib=peaks[index]
+        )
         records.append(record)
         if on_record is not None:
             on_record(record)

@@ -30,6 +30,16 @@ benchmark groups:
   backend; the ``python``/``numpy`` pair gates the vectorized placement
   layer at the greedy scales.
 
+The ``xl-small`` suite is separate: it contains only the
+``xl-epoch-stepper`` group, which replays a payment-heavy workload through
+a constant-time null scheme under both execution engines -- the per-event
+reference loop (``events``) and the array-native epoch stepper
+(``epoch``).  The null scheme isolates the engine's per-payment dispatch
+machinery (event objects, heap traffic vs one ``searchsorted`` slice per
+drain), which is exactly the overhead the xl scale tier eliminates; the
+``events``/``epoch`` pair gates the stepper's speedup the same way the
+``python``/``numpy`` pairs gate the array backends.
+
 Everything is seeded; two runs on one machine measure the same work.
 """
 
@@ -480,10 +490,106 @@ def _placement_specs(scale: str) -> List[BenchmarkSpec]:
     return specs
 
 
+# ---------------------------------------------------------------------- #
+# epoch stepper (the xl-small suite)
+# ---------------------------------------------------------------------- #
+#: Parameters of the engine-overhead suite: a small topology carrying a
+#: payment-heavy workload, so per-payment engine machinery dominates.
+XL_SCALES: Dict[str, Dict[str, object]] = {
+    "xl-small": {"nodes": 400, "duration": 8.0, "arrival_rate": 12500.0},
+}
+
+_NULL_SCHEME_CLS = None
+
+
+def _null_scheme_class():
+    """A constant-time sink scheme (lazily defined: baselines import heavy).
+
+    Accepts every batch and completes nothing, so a run through it measures
+    the engine's arrival-delivery machinery and essentially nothing else.
+    """
+    global _NULL_SCHEME_CLS
+    if _NULL_SCHEME_CLS is None:
+        from repro.baselines.base import RoutingScheme, SchemeStepReport
+
+        class _NullScheme(RoutingScheme):
+            name = "null"
+
+            def submit(self, request, now):  # pragma: no cover - batch path only
+                raise NotImplementedError("null scheme is batch-only")
+
+            def route_batch(self, requests):
+                return []
+
+            def step(self, now, dt):
+                return SchemeStepReport()
+
+        _NULL_SCHEME_CLS = _NullScheme
+    return _NULL_SCHEME_CLS
+
+
+class _EpochStepperState:
+    """One funded topology plus a payment-heavy workload; each call replays it.
+
+    The same state shape drives both variants; only the runner's ``engine``
+    differs, so the measured difference is purely the per-payment event path
+    versus the array-native drain cursor.
+    """
+
+    def __init__(self, nodes: int, duration: float, arrival_rate: float, engine: str) -> None:
+        self.network = watts_strogatz_pcn(
+            nodes,
+            nearest_neighbors=4,
+            rewire_probability=0.2,
+            uniform_channel_size=200.0,
+            candidate_fraction=0.2,
+            seed=41,
+        )
+        self.workload = generate_workload(
+            self.network,
+            WorkloadConfig(duration=duration, arrival_rate=arrival_rate, seed=43),
+        )
+        self.runner = ExperimentRunner(
+            self.network, self.workload, step_size=0.1, engine=engine
+        )
+        self._scheme_class = _null_scheme_class()
+
+    def step(self) -> None:
+        self.runner.run_single(self._scheme_class(), rng=np.random.default_rng(7))
+
+
+def _epoch_stepper_specs(scale: str) -> List[BenchmarkSpec]:
+    params = XL_SCALES[scale]
+    nodes = int(params["nodes"])
+    duration = float(params["duration"])
+    arrival_rate = float(params["arrival_rate"])
+    specs = []
+    for engine in ("events", "epoch"):
+        specs.append(
+            BenchmarkSpec(
+                name=f"xl-epoch-stepper/{scale}/{engine}",
+                group="xl-epoch-stepper",
+                scale=scale,
+                variant=engine,
+                setup=lambda engine=engine: _EpochStepperState(
+                    nodes, duration, arrival_rate, engine
+                ),
+                fn=lambda state: state.step(),
+                inner=1,
+                meta={"nodes": nodes, "duration": duration, "arrival_rate": arrival_rate},
+            )
+        )
+    return specs
+
+
 def build_suite(scale: str) -> List[BenchmarkSpec]:
     """All benchmarks of one scale."""
+    if scale in XL_SCALES:
+        return _epoch_stepper_specs(scale)
     if scale not in SCALES:
-        raise KeyError(f"unknown suite {scale!r}; choose from {sorted(SCALES)}")
+        raise KeyError(
+            f"unknown suite {scale!r}; choose from {sorted(SCALES) + sorted(XL_SCALES)}"
+        )
     return [
         *_routing_step_specs(scale),
         _scenario_run_spec(scale),

@@ -50,6 +50,9 @@ PLACEMENT_SCALES: Dict[str, Dict[str, object]] = {
     "medium": {"nodes": 200, "methods": ("greedy", "greedy-descent")},
     "large": {"nodes": 600, "methods": ("greedy", "greedy-descent")},
     "paper": {"nodes": 3000, "methods": ("greedy", "greedy-det")},
+    # The beyond-paper tier: only the deterministic double-greedy stays
+    # tractable at this size; shrink with --nodes for machine-sized smokes.
+    "xl": {"nodes": 100000, "methods": ("greedy-det",)},
 }
 
 #: Methods the pipeline understands (superset of the solver facade's: the

@@ -184,12 +184,17 @@ def hub_failure() -> ScenarioSpec:
 # ---------------------------------------------------------------------- #
 #: Node counts and offered load of the comparison scales.  ``paper`` is the
 #: paper's figure-8 network size; ``large`` is the laptop-class default of
-#: ``python -m repro compare``.
+#: ``python -m repro compare``.  ``xl`` is the beyond-paper scale tier: a
+#: 100k-node network offered one million payments (arrival_rate x the
+#: default 8s duration); it defaults to the epoch-stepper engine and
+#: shared-memory workers, and ``--nodes`` / ``--payments`` shrink it to
+#: machine-sized smokes (see ``docs/scaling.md``).
 COMPARISON_SCALES: Dict[str, Dict[str, float]] = {
     "small": {"nodes": 60, "arrival_rate": 20.0},
     "medium": {"nodes": 200, "arrival_rate": 30.0},
     "large": {"nodes": 600, "arrival_rate": 40.0},
     "paper": {"nodes": 3000, "arrival_rate": 60.0},
+    "xl": {"nodes": 100000, "arrival_rate": 125000.0},
 }
 
 
@@ -214,6 +219,7 @@ def build_comparison_spec(
     nodes: Optional[int] = None,
     topology_source: Optional[object] = None,
     workload_source: Optional[object] = None,
+    engine: Optional[str] = None,
 ) -> ScenarioSpec:
     """The figure-8 comparison at one scale, sharded one scheme per run.
 
@@ -229,6 +235,11 @@ def build_comparison_spec(
     ``nodes`` override becomes the snapshot loader's ``max_nodes`` cap.
     Source-backed specs fingerprint on the descriptor, so their JSONL
     sweeps resume independently of the synthetic ones.
+
+    ``engine`` selects the simulation engine (``events`` | ``epoch``); the
+    default is the epoch stepper at the ``xl`` scale and the per-event loop
+    elsewhere.  The engine is decision-identical and stays outside the
+    resume fingerprint.
     """
     try:
         params = COMPARISON_SCALES[scale]
@@ -279,6 +290,7 @@ def build_comparison_spec(
             ]
         },
         seeds=list(seeds) if seeds else [1],
+        engine=engine if engine is not None else ("epoch" if scale == "xl" else "events"),
     )
 
 

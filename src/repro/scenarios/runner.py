@@ -50,8 +50,11 @@ __all__ = [
 #: directory is excluded because the cache is transparent: a run produces
 #: bit-identical rows with or without it.  Observability is transparent the
 #: same way (sampling decisions never touch a simulation RNG), so enabling
-#: tracing must not re-run a completed sweep either.
-_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir", "obs")
+#: tracing must not re-run a completed sweep either.  The execution engine
+#: (per-event loop vs epoch stepper) is decision-identical by contract --
+#: pinned by ``tests/simulator/test_epoch_stepper_equivalence.py`` -- so
+#: switching engines must not re-run a completed sweep.
+_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir", "obs", "engine")
 
 
 def spec_fingerprint(spec_dict: Dict[str, object]) -> str:
@@ -115,17 +118,55 @@ def _build_recorder(spec: ScenarioSpec, key: str) -> "RunRecorder":
     )
 
 
-def execute_run(task: Tuple[Dict[str, object], int, Dict[str, object]]) -> Dict[str, object]:
-    """Execute one (spec dict, seed, overrides) task and return its result row.
+def _lean_reconstruction(spec: ScenarioSpec, network_backend: str) -> bool:
+    """Whether a shared-topology worker can reconstruct in lean (CSR-only) mode.
+
+    Lean networks forbid the networkx mirror, so every helper the run touches
+    must resolve to the ``numpy`` backend: the network default and each
+    scheme's declared backend (``params.backend``, or ``params.router.backend``
+    for splicer) all have to be numpy.  A scheme with no declaration inherits
+    the network default.
+    """
+    if network_backend != "numpy":
+        return False
+    for scheme in spec.scheme_specs():
+        params = scheme.params or {}
+        backend = params.get("backend")
+        if scheme.name == "splicer":
+            router = params.get("router") or {}
+            backend = router.get("backend", backend)
+        if (backend or network_backend) != "numpy":
+            return False
+    return True
+
+
+def execute_run(
+    task: Tuple[Dict[str, object], int, Dict[str, object]]
+) -> Dict[str, object]:
+    """Execute one (spec dict, seed, overrides[, shm name]) task; return its row.
 
     Module-level so it pickles for worker processes; the spec travels as a
-    plain dict for the same reason.
+    plain dict for the same reason.  A 4-tuple task carries the name of a
+    shared-memory topology block exported by the parent: the worker attaches
+    and reconstructs the network from it instead of re-running the topology
+    generator, which is bit-identical by the block's order-preservation
+    contract (``tests/topology/test_shared_topology.py``).
     """
-    spec_dict, seed, overrides = task
+    if len(task) == 4:
+        spec_dict, seed, overrides, shared_name = task
+    else:
+        spec_dict, seed, overrides = task
+        shared_name = None
     spec = ScenarioSpec.from_dict(spec_dict)
     if overrides:
         spec = spec.with_overrides(overrides)
-    runner, schemes = spec.build_experiment(seed)
+    network = None
+    if shared_name is not None:
+        from repro.topology.shared import SharedTopologyBlock
+
+        block = SharedTopologyBlock.attach(shared_name)
+        network = block.build_network(lean=_lean_reconstruction(spec, block.backend))
+    runner, schemes = spec.build_experiment(seed, network=network)
     store = None
     if spec.path_cache_dir:
         # Shards sharing a seed build the identical topology; the persistent
@@ -178,7 +219,18 @@ class ScenarioRunReport(GridRunReport):
 
 
 class ScenarioRunner(JsonlGridRunner):
-    """Runs a scenario's full grid over worker processes, resumably."""
+    """Runs a scenario's full grid over worker processes, resumably.
+
+    With ``shared_topology=True`` the parent builds each pending seed's funded
+    topology once, exports it to a read-only shared-memory block
+    (:class:`~repro.topology.shared.SharedTopologyBlock`) and hands workers
+    the block name instead of letting every shard re-run the generator.
+    Sharing applies only when every grid override path stays under
+    ``schemes.`` (the comparison pipeline's shape) -- a grid that sweeps
+    topology parameters builds per-run networks as before.  Rows are
+    bit-identical either way; the blocks are unlinked in a ``finally`` (plus
+    a finalizer guard inside the block itself).
+    """
 
     report_class = ScenarioRunReport
 
@@ -187,9 +239,12 @@ class ScenarioRunner(JsonlGridRunner):
         spec: ScenarioSpec,
         results_dir: str = os.path.join("results", "scenarios"),
         workers: int = 1,
+        shared_topology: bool = False,
     ) -> None:
         super().__init__(results_dir=results_dir, workers=workers)
         self.spec = spec
+        self.shared_topology = shared_topology
+        self._shared_blocks: Dict[int, "SharedTopologyBlock"] = {}
 
     @property
     def results_name(self) -> str:
@@ -204,17 +259,67 @@ class ScenarioRunner(JsonlGridRunner):
             for seed, overrides in self.spec.expand_runs()
         ]
 
-    def pending_tasks(self) -> List[Tuple[Dict[str, object], int, Dict[str, object]]]:
-        """Grid entries not yet present in the results file, in grid order."""
+    def pending_tasks(self) -> List[Tuple]:
+        """Grid entries not yet present in the results file, in grid order.
+
+        Tasks are 3-tuples, or 4-tuples carrying the seed's shared-memory
+        block name when the parent exported one.
+        """
         done = self.completed_keys()
         spec_dict = self.spec.to_dict()
         fingerprint = spec_fingerprint(spec_dict)
-        return [
-            (spec_dict, seed, overrides)
-            for seed, overrides in self.spec.expand_runs()
-            if run_key(self.spec.name, seed, overrides, fingerprint) not in done
-        ]
+        tasks: List[Tuple] = []
+        for seed, overrides in self.spec.expand_runs():
+            if run_key(self.spec.name, seed, overrides, fingerprint) in done:
+                continue
+            block = self._shared_blocks.get(seed)
+            if block is not None:
+                tasks.append((spec_dict, seed, overrides, block.name))
+            else:
+                tasks.append((spec_dict, seed, overrides))
+        return tasks
 
     def executor(self):
         """The module-level scenario task function."""
         return execute_run
+
+    def run(self, workers=None, on_row=None) -> GridRunReport:
+        """Execute pending runs, exporting shared topology blocks if enabled."""
+        if not self.shared_topology:
+            return super().run(workers=workers, on_row=on_row)
+        self._export_shared_blocks()
+        try:
+            return super().run(workers=workers, on_row=on_row)
+        finally:
+            self._release_shared_blocks()
+
+    # ------------------------------------------------------------------ #
+    # shared-memory topology blocks
+    # ------------------------------------------------------------------ #
+    def _export_shared_blocks(self) -> None:
+        """Build and export one topology block per seed with pending work.
+
+        Bails (leaving all tasks as plain 3-tuples) if any pending override
+        touches anything outside ``schemes.``: those overrides change the
+        network a run builds, so one per-seed topology cannot serve them.
+        """
+        from repro.topology.shared import SharedTopologyBlock
+
+        done = self.completed_keys()
+        fingerprint = spec_fingerprint(self.spec.to_dict())
+        seeds = set()
+        for seed, overrides in self.spec.expand_runs():
+            if run_key(self.spec.name, seed, overrides, fingerprint) in done:
+                continue
+            if any(not path.startswith("schemes.") for path in overrides):
+                return
+            seeds.add(seed)
+        for seed in sorted(seeds):
+            network = self.spec.topology.build(derive_seed(seed, "topology"))
+            self._shared_blocks[seed] = SharedTopologyBlock.from_network(network)
+
+    def _release_shared_blocks(self) -> None:
+        """Unlink every exported block (idempotent)."""
+        blocks, self._shared_blocks = self._shared_blocks, {}
+        for block in blocks.values():
+            block.unlink()

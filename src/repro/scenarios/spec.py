@@ -411,6 +411,12 @@ class ScenarioSpec:
             Observability is transparent like the path cache -- metrics are
             bit-identical with it on or off -- so it also stays out of the
             resume fingerprint.
+        engine: Execution engine of the runner: ``"events"`` (per-event
+            reference loop) or ``"epoch"`` (array-native epoch stepper).
+            The two are decision-identical -- pinned by the epoch-stepper
+            differential suite -- so the field is pruned from the dict
+            shape while at its default and excluded from the resume
+            fingerprint, like the other transparent knobs.
     """
 
     name: str
@@ -427,6 +433,7 @@ class ScenarioSpec:
     drain_time: float = 4.0
     path_cache_dir: Optional[str] = None
     obs: Optional[Dict[str, object]] = None
+    engine: str = "events"
 
     # -- serialization ------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:
@@ -442,6 +449,8 @@ class ScenarioSpec:
             sub = data.get(section)
             if isinstance(sub, dict) and sub.get("source") is None:
                 sub.pop("source", None)
+        if data.get("engine") == "events":
+            data.pop("engine", None)
         return data
 
     @classmethod
@@ -510,9 +519,19 @@ class ScenarioSpec:
             for entry in self.schemes
         ]
 
-    def build_experiment(self, seed: int) -> Tuple[ExperimentRunner, List[RoutingScheme]]:
-        """Build the runner (network + workload + dynamics) and the schemes."""
-        network = self.topology.build(derive_seed(seed, "topology"))
+    def build_experiment(
+        self, seed: int, network: Optional[PCNetwork] = None
+    ) -> Tuple[ExperimentRunner, List[RoutingScheme]]:
+        """Build the runner (network + workload + dynamics) and the schemes.
+
+        ``network`` may carry a pre-built topology (the shared-memory
+        compare path reconstructs it from a read-only block); it must be
+        identical to what ``topology.build`` would produce for ``seed``,
+        which :class:`~repro.topology.shared.SharedTopologyBlock`
+        guarantees by preserving node, adjacency and channel order.
+        """
+        if network is None:
+            network = self.topology.build(derive_seed(seed, "topology"))
         workload = self.workload.build(network, derive_seed(seed, "workload"))
         dynamics_rng = np.random.default_rng(derive_seed(seed, "dynamics"))
         events: List[DynamicsEvent] = []
@@ -525,6 +544,7 @@ class ScenarioSpec:
             step_size=self.step_size,
             drain_time=self.drain_time,
             dynamics=events,
+            engine=self.engine,
         )
         return runner, [scheme_spec.build() for scheme_spec in self.scheme_specs()]
 

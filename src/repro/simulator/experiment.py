@@ -32,6 +32,38 @@ from repro.simulator.workload import StreamingWorkload, TransactionWorkload
 from repro.topology.network import PCNetwork
 
 
+#: Execution engines of the runner: ``"events"`` schedules every arrival as
+#: its own engine event (the reference), ``"epoch"`` drains arrivals from a
+#: sorted array cursor per tick without touching the python heap per payment.
+VALID_ENGINES = ("events", "epoch")
+
+
+class _EpochArrivalCursor:
+    """Array-backed drain cursor over a materialized workload (epoch engine).
+
+    Holds the stable arrival-time-sorted request list plus a float64 view of
+    the times; each drain is one ``np.searchsorted`` and a list slice.  The
+    order and the strict ``arrival_time <= now`` boundary reproduce exactly
+    what the event engine's ``(time, sequence)`` heap delivers, so the two
+    execution paths are decision-identical (pinned by
+    ``tests/simulator/test_epoch_stepper_equivalence.py``).
+    """
+
+    def __init__(self, times: np.ndarray, requests: List) -> None:
+        self._times = times
+        self._requests = requests
+        self._index = 0
+
+    def take_until(self, now: float) -> List:
+        """All not-yet-taken requests with ``arrival_time <= now``, in order."""
+        hi = int(np.searchsorted(self._times, now, side="right"))
+        lo = self._index
+        if hi <= lo:
+            return []
+        self._index = hi
+        return self._requests[lo:hi]
+
+
 class _ArrivalCursor:
     """Pulls time-ordered requests out of a streaming workload on demand.
 
@@ -147,21 +179,28 @@ class ExperimentRunner:
         drain_time: float = 5.0,
         dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
         batch_arrivals: bool = True,
+        engine: str = "events",
     ) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         if drain_time < 0:
             raise ValueError("drain_time must be non-negative")
+        if engine not in VALID_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {VALID_ENGINES}")
         if hasattr(workload, "iter_chunks") and not batch_arrivals:
             raise ValueError(
                 "streaming workloads require batch_arrivals=True; "
                 "materialize() the workload for per-arrival delivery"
             )
+        if engine == "epoch" and not batch_arrivals:
+            raise ValueError("the epoch engine requires batch_arrivals=True")
         self.network = network
         self.workload = workload
         self.step_size = step_size
         self.drain_time = drain_time
         self.batch_arrivals = batch_arrivals
+        self.engine = engine
+        self._epoch_arrivals: Optional[tuple] = None
         self.dynamics: List[NetworkDynamicsEvent] = list(dynamics or [])
         self._snapshot = network.snapshot()
         self._channel_fees = {
@@ -226,12 +265,15 @@ class ExperimentRunner:
         # point instead of being pre-scheduled as engine events; the strict
         # arrival_time <= now test makes the two delivery paths
         # decision-identical (engine.run leaves now == end_time, so the
-        # final drain sees the stream's tail as well).
-        cursor = (
-            _ArrivalCursor(self.workload)
-            if hasattr(self.workload, "iter_chunks")
-            else None
-        )
+        # final drain sees the stream's tail as well).  The epoch engine
+        # extends the same cursor contract to materialized workloads: no
+        # per-payment heap events at all, one searchsorted slice per drain.
+        if hasattr(self.workload, "iter_chunks"):
+            cursor = _ArrivalCursor(self.workload)
+        elif self.engine == "epoch":
+            cursor = self._epoch_cursor()
+        else:
+            cursor = None
 
         rec = obs.RECORDER
         if rec.enabled:
@@ -332,6 +374,20 @@ class ExperimentRunner:
             )
             rec.set_scheme(None)
         return collector.finalize()
+
+    def _epoch_cursor(self) -> _EpochArrivalCursor:
+        """A fresh drain cursor over the workload's stable-sorted arrivals.
+
+        The sorted request list and its float64 time view are computed once
+        per runner and shared across schemes (the cursor only advances an
+        index), so multi-scheme comparisons pay the sort a single time.
+        """
+        cached = self._epoch_arrivals
+        if cached is None or cached[0] is not self.workload.requests:
+            times, ordered = self.workload._sorted_arrivals()
+            cached = (self.workload.requests, np.asarray(times, dtype=float), ordered)
+            self._epoch_arrivals = cached
+        return _EpochArrivalCursor(cached[1], cached[2])
 
     def _schedule_dynamics(
         self,
@@ -481,6 +537,7 @@ def compare_schemes(
     parameters: Optional[Dict[str, object]] = None,
     dynamics: Optional[Sequence[NetworkDynamicsEvent]] = None,
     batch_arrivals: bool = True,
+    engine: str = "events",
 ) -> ExperimentResult:
     """One-call convenience wrapper used by the examples and benchmarks."""
     runner = ExperimentRunner(
@@ -490,5 +547,6 @@ def compare_schemes(
         drain_time=drain_time,
         dynamics=dynamics,
         batch_arrivals=batch_arrivals,
+        engine=engine,
     )
     return runner.run(schemes, parameters=parameters)

@@ -17,11 +17,45 @@ The paper reports four quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.routing.transaction import Payment
+
+
+class _FloatBuffer:
+    """Append-only float64 buffer with doubling growth.
+
+    At the xl scale a scheme can complete tens of millions of payments; a
+    Python list holds each delay as a boxed float (~4x the footprint of the
+    packed array this keeps).  Values are stored as float64 in arrival
+    order, so the percentile math in :meth:`MetricsCollector.finalize` sees
+    exactly the array ``np.asarray(list)`` used to produce.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        self._data = np.empty(initial_capacity, dtype=np.float64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, value: float) -> None:
+        if self._size == self._data.size:
+            grown = np.empty(self._data.size * 2, dtype=np.float64)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def view(self) -> np.ndarray:
+        """Read-only window over the stored values (no copy)."""
+        window = self._data[: self._size]
+        window.flags.writeable = False
+        return window
 
 
 @dataclass
@@ -106,7 +140,7 @@ class MetricsCollector:
         self.completed_count = 0
         self.completed_value = 0.0
         self.failed_count = 0
-        self.delays: List[float] = []
+        self.delays = _FloatBuffer()
         self.overhead_messages = 0.0
         self.transfer_hops = 0
         self.fees_paid = 0.0
@@ -163,8 +197,8 @@ class MetricsCollector:
         """Produce the aggregated metrics."""
         success_ratio = self.completed_count / self.generated_count if self.generated_count else 0.0
         throughput = self.completed_value / self.generated_value if self.generated_value else 0.0
-        if self.delays:
-            delays = np.asarray(self.delays)
+        if len(self.delays):
+            delays = self.delays.view()
             average_delay = float(np.mean(delays))
             median_delay = float(np.median(delays))
             p90_delay = float(np.percentile(delays, 90))

@@ -73,11 +73,11 @@ def topology_fingerprint(network) -> str:
     Balances stay out of the hash -- balance-dependent selectors are never
     persisted.
     """
-    graph = network.graph
+    adj = network.adj
     parts = []
-    for node in graph.nodes:
+    for node in adj:
         parts.append(repr(node))
-        parts.append("\x1f".join(repr(neighbor) for neighbor in graph.adj[node]))
+        parts.append("\x1f".join(repr(neighbor) for neighbor in adj[node]))
     material = "\x1e".join(parts)
     return hashlib.sha256(material.encode()).hexdigest()[:16]
 
@@ -97,9 +97,9 @@ class GraphArrays:
     def __init__(self, network) -> None:
         self.network = network
         self.version = network.topology_version
-        graph = network.graph
+        adj = network.adj
 
-        self.node_ids: List[NodeId] = list(graph.nodes)
+        self.node_ids: List[NodeId] = list(adj)
         self.node_row: Dict[NodeId, int] = {
             node: row for row, node in enumerate(self.node_ids)
         }
@@ -119,7 +119,7 @@ class GraphArrays:
         for row, node in enumerate(self.node_ids):
             neighbors = self.adjacency[row]
             slot_list = self.slots[row]
-            for neighbor in graph.adj[node]:
+            for neighbor in adj[node]:
                 neighbor_row = self.node_row[neighbor]
                 self.slot_of[(row, neighbor_row)] = len(flat)
                 slot_list.append(len(flat))
@@ -129,8 +129,16 @@ class GraphArrays:
         self.pairs: List[List[Tuple[int, int]]] = [
             list(zip(self.adjacency[row], self.slots[row])) for row in range(n)
         ]
-        self.indptr = indptr
-        self.indices = np.asarray(flat, dtype=np.intp)
+        shared = getattr(network, "shared_csr", None)
+        if shared is not None and network.topology_version == 0:
+            # The network was reconstructed from a shared-memory topology
+            # block (same node order, same adjacency order, version 0 ==
+            # untouched): alias the block's read-only CSR arrays instead of
+            # keeping a private copy per worker process.
+            self.indptr, self.indices = shared
+        else:
+            self.indptr = indptr
+            self.indices = np.asarray(flat, dtype=np.intp)
         self.slot_count = len(flat)
 
         #: Spendable balance of the directed hop at each slot, refreshed from

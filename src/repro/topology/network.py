@@ -1,23 +1,28 @@
 """The payment channel network graph container.
 
-:class:`PCNetwork` wraps a :class:`networkx.Graph` whose edges carry
-:class:`~repro.topology.channel.PaymentChannel` objects and whose nodes carry
-a *role* (``"client"``, ``"candidate"`` or ``"hub"``).  It provides the graph
-queries the placement and routing layers need: hop counts, shortest paths,
-per-direction liquidity views and snapshot/restore of all channel balances so
-that a single topology can be replayed under several routing schemes.
+:class:`PCNetwork` stores nodes (with a *role*: ``"client"``,
+``"candidate"`` or ``"hub"``) and funded channels in plain insertion-ordered
+dict-of-dicts adjacency -- the same structure networkx uses internally, so
+neighbor iteration order (and therefore every path tie-break downstream) is
+identical to the historical networkx-backed implementation.  A real
+:class:`networkx.Graph` is only materialized *lazily*, as a cached mirror,
+when a scalar (``backend="python"``) helper actually walks it; the numpy
+backend and the CSR mirrors never touch networkx at all.  Networks built for
+the xl scale tier pass ``lean=True``, which forbids the mirror outright so a
+100k-node run provably never pays for networkx structures.
 
 The path/distance helpers run on one of two execution backends behind the
 repo-wide ``backend="python"|"numpy"`` knob: the networkx walks below are
 the scalar reference, and :mod:`repro.topology.graph_backend` mirrors the
-graph into CSR arrays (rebuilt lazily whenever ``topology_version`` moves)
-for ``scipy.sparse.csgraph``-batched BFS and array-backed path search with
-identical results, tie-breaks included.
+adjacency into CSR arrays (rebuilt lazily whenever ``topology_version``
+moves) for ``scipy.sparse.csgraph``-batched BFS and array-backed path
+search with identical results, tie-breaks included.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -48,18 +53,35 @@ class PCNetwork:
             (``"numpy"`` mirrors the graph into CSR arrays, ``"python"``
             walks networkx structures); every helper also takes a per-call
             override.
+        lean: Forbid the networkx mirror entirely (CSR-only mode).  Lean
+            networks serve the xl scale tier: every query must run on the
+            ``numpy`` backend, and accessing :attr:`graph` raises instead
+            of silently materializing a 100k-node networkx structure.
     """
 
-    def __init__(self, backend: str = "numpy") -> None:
+    def __init__(self, backend: str = "numpy", lean: bool = False) -> None:
         if backend not in VALID_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {VALID_BACKENDS}")
-        self._graph = nx.Graph()
+        #: Node -> attribute dict (``role`` plus free-form attrs), insertion order.
+        self._node_attrs: Dict[NodeId, Dict[str, object]] = {}
+        #: Node -> (neighbor -> channel), both layers insertion-ordered --
+        #: exactly the dict-of-dicts shape networkx keeps, so adjacency
+        #: iteration order matches the historical nx-backed container.
+        self._adj: Dict[NodeId, Dict[NodeId, PaymentChannel]] = {}
+        self._channel_count = 0
         #: Bumped on every channel addition/removal.  Fast-path layers (path
         #: catalogs, balance array mirrors) key their caches on this counter
         #: so topology dynamics invalidate them without explicit wiring.
         self.topology_version = 0
         self.backend = backend
+        self.lean = lean
+        #: Read-only ``(indptr, indices)`` CSR views set by the shared-memory
+        #: reconstruction path; :class:`GraphArrays` aliases them (while the
+        #: topology is untouched) instead of keeping per-process copies.
+        self.shared_csr: Optional[Tuple[object, object]] = None
         self._graph_arrays: Optional["GraphArrays"] = None
+        self._mirror: Optional[nx.Graph] = None
+        self._mirror_version = -1
 
     # ------------------------------------------------------------------ #
     # construction
@@ -68,7 +90,14 @@ class PCNetwork:
         """Add a node with a role (client, candidate or hub)."""
         if role not in _VALID_ROLES:
             raise ValueError(f"unknown role {role!r}; expected one of {_VALID_ROLES}")
-        self._graph.add_node(node, role=role, **attrs)
+        existing = self._node_attrs.get(node)
+        if existing is None:
+            self._node_attrs[node] = {"role": role, **attrs}
+            self._adj[node] = {}
+        else:  # networkx semantics: re-adding updates attributes in place
+            existing["role"] = role
+            existing.update(attrs)
+        self._mirror = None
 
     def add_channel(
         self,
@@ -91,14 +120,16 @@ class PCNetwork:
             fee_rate: Proportional forwarding fee.
         """
         for node in (node_a, node_b):
-            if node not in self._graph:
+            if node not in self._node_attrs:
                 raise KeyError(f"node {node!r} is not part of the network")
-        if self._graph.has_edge(node_a, node_b):
+        if node_b in self._adj[node_a]:
             raise ValueError(f"channel {node_a!r}-{node_b!r} already exists")
         if balance_b is None:
             balance_b = balance_a
         channel = PaymentChannel(node_a, node_b, balance_a, balance_b, base_fee, fee_rate)
-        self._graph.add_edge(node_a, node_b, channel=channel)
+        self._adj[node_a][node_b] = channel
+        self._adj[node_b][node_a] = channel
+        self._channel_count += 1
         self.topology_version += 1
         return channel
 
@@ -106,7 +137,9 @@ class PCNetwork:
         """Close and remove the channel between two nodes, returning the settlement."""
         channel = self.channel(node_a, node_b)
         settlement = channel.close()
-        self._graph.remove_edge(node_a, node_b)
+        del self._adj[node_a][node_b]
+        del self._adj[node_b][node_a]
+        self._channel_count -= 1
         self.topology_version += 1
         return settlement
 
@@ -114,23 +147,67 @@ class PCNetwork:
         """Change a node's role (e.g. promote a candidate to a hub)."""
         if role not in _VALID_ROLES:
             raise ValueError(f"unknown role {role!r}; expected one of {_VALID_ROLES}")
-        if node not in self._graph:
+        if node not in self._node_attrs:
             raise KeyError(f"node {node!r} is not part of the network")
-        self._graph.nodes[node]["role"] = role
+        self._node_attrs[node]["role"] = role
+        self._mirror = None
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     @property
     def graph(self) -> nx.Graph:
-        """The underlying networkx graph (channels live on the ``channel`` edge attr)."""
-        return self._graph
+        """A networkx mirror of the network (channels on the ``channel`` edge attr).
+
+        Built lazily and cached per ``topology_version``; the mirror
+        reproduces node order *and* per-node adjacency order exactly, so
+        scalar networkx walks tie-break identically to the CSR backend.
+        Lean (CSR-only) networks raise instead -- materializing networkx at
+        xl scale is precisely what lean mode exists to prevent.
+        """
+        if self.lean:
+            raise RuntimeError(
+                "this network is lean (CSR-only): the networkx mirror is "
+                "disabled; use backend='numpy' queries"
+            )
+        mirror = self._mirror
+        if mirror is None or self._mirror_version != self.topology_version:
+            mirror = nx.Graph()
+            mirror.add_nodes_from(self._node_attrs.items())
+            adj = mirror._adj
+            data_of: Dict[int, Dict[str, object]] = {}
+            for node, neighbors in self._adj.items():
+                row = adj[node]
+                for neighbor, channel in neighbors.items():
+                    data = data_of.get(id(channel))
+                    if data is None:
+                        data = {"channel": channel}
+                        data_of[id(channel)] = data
+                    row[neighbor] = data
+            self._mirror = mirror
+            self._mirror_version = self.topology_version
+        return mirror
+
+    @property
+    def nx_materialized(self) -> bool:
+        """Whether a networkx mirror is currently materialized (test probe)."""
+        return self._mirror is not None
+
+    @property
+    def adj(self) -> Mapping[NodeId, Mapping[NodeId, PaymentChannel]]:
+        """Read-only view of the adjacency: node -> (neighbor -> channel).
+
+        Iteration order is node/channel insertion order (the same order the
+        historical networkx container exposed); callers must not mutate the
+        returned mappings.
+        """
+        return self._adj
 
     def nodes(self, role: Optional[str] = None) -> List[NodeId]:
         """All nodes, optionally filtered by role."""
         if role is None:
-            return list(self._graph.nodes)
-        return [n for n, data in self._graph.nodes(data=True) if data.get("role") == role]
+            return list(self._node_attrs)
+        return [n for n, data in self._node_attrs.items() if data.get("role") == role]
 
     def clients(self) -> List[NodeId]:
         """Nodes with the client role."""
@@ -140,7 +217,7 @@ class PCNetwork:
         """Nodes eligible to be placed as smooth nodes (candidates and hubs)."""
         return [
             n
-            for n, data in self._graph.nodes(data=True)
+            for n, data in self._node_attrs.items()
             if data.get("role") in (ROLE_CANDIDATE, ROLE_HUB)
         ]
 
@@ -150,49 +227,68 @@ class PCNetwork:
 
     def role(self, node: NodeId) -> str:
         """The role of ``node``."""
-        return self._graph.nodes[node]["role"]
+        return self._node_attrs[node]["role"]
+
+    def node_attrs(self, node: NodeId) -> Dict[str, object]:
+        """The attribute dict of ``node`` (role plus free-form attrs)."""
+        return self._node_attrs[node]
 
     def has_node(self, node: NodeId) -> bool:
         """Whether the node exists."""
-        return node in self._graph
+        return node in self._node_attrs
 
     def has_channel(self, node_a: NodeId, node_b: NodeId) -> bool:
         """Whether a channel exists between two nodes."""
-        return self._graph.has_edge(node_a, node_b)
+        neighbors = self._adj.get(node_a)
+        return neighbors is not None and node_b in neighbors
 
     def channel(self, node_a: NodeId, node_b: NodeId) -> PaymentChannel:
         """The channel object between two adjacent nodes."""
         try:
-            return self._graph.edges[node_a, node_b]["channel"]
+            return self._adj[node_a][node_b]
         except KeyError:
             raise KeyError(f"no channel between {node_a!r} and {node_b!r}") from None
 
     def channels(self) -> Iterator[PaymentChannel]:
-        """Iterate over every channel in the network."""
-        for _, _, data in self._graph.edges(data=True):
-            yield data["channel"]
+        """Iterate over every channel, in networkx ``edges()`` enumeration order."""
+        seen: set = set()
+        for node, neighbors in self._adj.items():
+            for neighbor, channel in neighbors.items():
+                if neighbor not in seen:
+                    yield channel
+            seen.add(node)
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
         """Direct channel partners of ``node``."""
-        return list(self._graph.neighbors(node))
+        return list(self._adj[node])
 
     def degree(self, node: NodeId) -> int:
         """Number of channels attached to ``node``."""
-        return int(self._graph.degree(node))
+        return len(self._adj[node])
 
     def node_count(self) -> int:
         """Number of nodes in the network."""
-        return self._graph.number_of_nodes()
+        return len(self._node_attrs)
 
     def channel_count(self) -> int:
         """Number of channels in the network."""
-        return self._graph.number_of_edges()
+        return self._channel_count
 
     def is_connected(self) -> bool:
         """Whether the channel graph is a single connected component."""
-        if self._graph.number_of_nodes() == 0:
+        total = len(self._node_attrs)
+        if total == 0:
             return True
-        return nx.is_connected(self._graph)
+        start = next(iter(self._adj))
+        seen = {start}
+        queue = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adj[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == total
 
     def total_funds(self) -> float:
         """Total collateral committed to all channels."""
@@ -242,13 +338,13 @@ class PCNetwork:
             return 0
         if self.resolve_backend(backend) == "numpy":
             return self.graph_arrays().hop_count(source, target)
-        return nx.shortest_path_length(self._graph, source, target)
+        return nx.shortest_path_length(self.graph, source, target)
 
     def hop_counts_from(self, source: NodeId, backend: Optional[str] = None) -> Dict[NodeId, int]:
         """Hop count from ``source`` to every reachable node."""
         if self.resolve_backend(backend) == "numpy":
             return self.graph_arrays().hop_counts_from(source)
-        return dict(nx.single_source_shortest_path_length(self._graph, source))
+        return dict(nx.single_source_shortest_path_length(self.graph, source))
 
     def all_pairs_hop_counts(
         self, backend: Optional[str] = None
@@ -265,7 +361,7 @@ class PCNetwork:
                     node_ids[column]: int(distances[row, column]) for column in reachable
                 }
             return result
-        return {source: lengths for source, lengths in nx.all_pairs_shortest_path_length(self._graph)}
+        return {source: lengths for source, lengths in nx.all_pairs_shortest_path_length(self.graph)}
 
     def hop_count_rows(self, sources: Sequence[NodeId]):
         """Batched hop counts: ``(node order, distances array)`` for ``sources``.
@@ -283,7 +379,7 @@ class PCNetwork:
         """One shortest (fewest-hops) path between two nodes."""
         if self.resolve_backend(backend) == "numpy":
             return self.graph_arrays().shortest_path(source, target)
-        return nx.shortest_path(self._graph, source, target)
+        return nx.shortest_path(self.graph, source, target)
 
     def shortest_paths(
         self, source: NodeId, target: NodeId, k: int, backend: Optional[str] = None
@@ -293,7 +389,7 @@ class PCNetwork:
             return []
         if self.resolve_backend(backend) == "numpy":
             return self.graph_arrays().k_shortest_paths(source, target, k)
-        generator = nx.shortest_simple_paths(self._graph, source, target)
+        generator = nx.shortest_simple_paths(self.graph, source, target)
         paths: List[List[NodeId]] = []
         for path in generator:
             paths.append(list(path))
@@ -312,14 +408,16 @@ class PCNetwork:
             return 0.0
         bottleneck = float("inf")
         for i in range(len(path) - 1):
-            if not self._graph.has_edge(path[i], path[i + 1]):
+            neighbors = self._adj.get(path[i])
+            channel = neighbors.get(path[i + 1]) if neighbors is not None else None
+            if channel is None:
                 return 0.0
-            bottleneck = min(bottleneck, self.channel(path[i], path[i + 1]).balance(path[i]))
+            bottleneck = min(bottleneck, channel.balance(path[i]))
         return bottleneck
 
     def subgraph_view(self) -> nx.Graph:
         """A read-only copy of the channel graph topology (no channel objects)."""
-        return nx.Graph(self._graph.edges())
+        return nx.Graph(self.graph.edges())
 
     # ------------------------------------------------------------------ #
     # snapshot / restore

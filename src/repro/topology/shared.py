@@ -1,0 +1,308 @@
+"""Shared-memory topology blocks for multi-process comparison pipelines.
+
+At xl scale (~100k nodes) every ``compare`` worker process used to rebuild
+the funded topology from scratch: re-run the generator, re-sample channel
+sizes, and re-derive the adjacency -- identical work repeated once per
+scheme shard.  This module packs one seed's topology into a single
+``multiprocessing.shared_memory`` segment the parent builds once:
+
+* **read-only block** -- node ids and attribute dicts (pickled), the CSR
+  adjacency (``indptr``/``indices`` plus a per-slot channel index that
+  preserves the *exact* insertion/adjacency order, so the reconstructed
+  network's ``topology_fingerprint`` matches the original bit for bit),
+  and per-channel initial balances and fees as float64 arrays,
+* **per-worker mutable state** -- workers reconstruct lightweight
+  :class:`~repro.topology.network.PCNetwork` objects (lean/CSR-only by
+  default: no networkx mirror is ever materialized) whose channel balances
+  are the only mutable copies; the big immutable arrays stay mapped once
+  in physical memory across every worker.
+
+Cleanup is owned by the creating process: the compare runner unlinks every
+block in a ``finally``, and creator blocks additionally carry a
+``weakref.finalize`` guard so a crashed shard sweep still unlinks the
+segment when the parent's reference is dropped.  Worker attaches leave the
+(fork-shared) resource tracker alone: re-registration is a set no-op there,
+and the tracker remains the last-resort cleanup if the parent is killed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.topology.channel import PaymentChannel
+from repro.topology.network import PCNetwork
+
+_MAGIC = b"RPSHM1\n"
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _unlink_segment(name: str) -> None:
+    """Best-effort unlink used by the creator's finalizer guard.
+
+    Re-attaching registers the name with the resource tracker again; with
+    the fork start method every process shares the parent's tracker, so the
+    extra ``register`` is a set no-op and ``unlink`` unregisters cleanly.
+    A segment some other path already destroyed is simply done.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass
+
+
+class SharedArrayBlock:
+    """One shared-memory segment holding named read-only arrays plus metadata.
+
+    Layout: magic, an 8-byte little-endian header length, a pickled header
+    (metadata and per-array dtype/shape/offset), then 64-byte-aligned array
+    payloads.  Attached views are numpy arrays with ``writeable=False`` --
+    the read-only contract workers operate under.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        arrays: Dict[str, np.ndarray],
+        meta: dict,
+        owner: bool,
+    ) -> None:
+        self.segment = segment
+        self.arrays = arrays
+        self.meta = meta
+        self.owner = owner
+        self._finalizer = (
+            weakref.finalize(self, _unlink_segment, segment.name) if owner else None
+        )
+
+    @property
+    def name(self) -> str:
+        """The segment name: the only thing workers need to attach."""
+        return self.segment.name
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray], meta: dict) -> "SharedArrayBlock":
+        """Pack arrays and metadata into a fresh shared-memory segment."""
+        layout: List[Tuple[str, str, Tuple[int, ...], int]] = []
+        offset = 0  # relative to the data region; resolved after the header
+        specs: List[np.ndarray] = []
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            layout.append((key, array.dtype.str, array.shape, offset))
+            specs.append(array)
+            offset = _aligned(offset + array.nbytes)
+        header = pickle.dumps({"meta": meta, "layout": layout}, protocol=pickle.HIGHEST_PROTOCOL)
+        data_start = _aligned(len(_MAGIC) + 8 + len(header))
+        total = max(1, data_start + offset)
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        buf = segment.buf
+        buf[: len(_MAGIC)] = _MAGIC
+        struct.pack_into("<Q", buf, len(_MAGIC), len(header))
+        buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + len(header)] = header
+        views: Dict[str, np.ndarray] = {}
+        for (key, dtype, shape, rel_offset), array in zip(layout, specs):
+            view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=data_start + rel_offset)
+            view[...] = array
+            view.flags.writeable = False
+            views[key] = view
+        return cls(segment, views, dict(meta), owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedArrayBlock":
+        """Attach read-only views onto an existing segment by name."""
+        segment = shared_memory.SharedMemory(name=name)
+        buf = segment.buf
+        if bytes(buf[: len(_MAGIC)]) != _MAGIC:
+            segment.close()
+            raise ValueError(f"segment {name!r} is not a shared array block")
+        (header_len,) = struct.unpack_from("<Q", buf, len(_MAGIC))
+        header = pickle.loads(bytes(buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + header_len]))
+        data_start = _aligned(len(_MAGIC) + 8 + header_len)
+        views: Dict[str, np.ndarray] = {}
+        for key, dtype, shape, rel_offset in header["layout"]:
+            view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=data_start + rel_offset)
+            view.flags.writeable = False
+            views[key] = view
+        return cls(segment, views, header["meta"], owner=False)
+
+    def close(self) -> None:
+        """Unmap this process's view (the segment itself stays alive)."""
+        self.arrays = {}
+        self.segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only); safe to call more than once."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self.arrays = {}
+        self.segment.close()
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            pass
+
+
+class SharedTopologyBlock:
+    """A funded topology exported to shared memory, reconstructible per worker.
+
+    The export preserves everything the simulation's determinism depends on:
+    node insertion order, per-node adjacency order (CSR + a per-slot channel
+    index), channel endpoint order, per-side balances and fees, and node
+    attribute dicts.  :meth:`build_network` therefore returns a network whose
+    ``topology_fingerprint``, snapshot and every query result are identical
+    to the original -- the bit-identity contract of the shared-memory
+    compare path, pinned by ``tests/topology/test_shared_topology.py``.
+    """
+
+    def __init__(self, block: SharedArrayBlock) -> None:
+        self.block = block
+
+    @property
+    def name(self) -> str:
+        """Segment name; pickle-friendly worker handle."""
+        return self.block.name
+
+    @property
+    def backend(self) -> str:
+        """Default execution backend of the exported network."""
+        return str(self.block.meta["backend"])
+
+    # ------------------------------------------------------------------ #
+    # export (parent side)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_network(cls, network: PCNetwork) -> "SharedTopologyBlock":
+        """Export a network's topology and initial balances to shared memory."""
+        adj = network.adj
+        node_ids = list(adj)
+        row_of = {node: row for row, node in enumerate(node_ids)}
+
+        edge_index: Dict[int, int] = {}
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        bal_u: List[float] = []
+        bal_v: List[float] = []
+        base_fee: List[float] = []
+        fee_rate: List[float] = []
+        for channel in network.channels():
+            edge_index[id(channel)] = len(edge_u)
+            edge_u.append(row_of[channel.node_a])
+            edge_v.append(row_of[channel.node_b])
+            bal_u.append(channel.balance(channel.node_a))
+            bal_v.append(channel.balance(channel.node_b))
+            base_fee.append(channel.base_fee)
+            fee_rate.append(channel.fee_rate)
+
+        n = len(node_ids)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices: List[int] = []
+        adj_edge: List[int] = []
+        for row, node in enumerate(node_ids):
+            for neighbor, channel in adj[node].items():
+                indices.append(row_of[neighbor])
+                adj_edge.append(edge_index[id(channel)])
+            indptr[row + 1] = len(indices)
+
+        arrays = {
+            "indptr": indptr,
+            "indices": np.asarray(indices, dtype=np.int64),
+            "adj_edge": np.asarray(adj_edge, dtype=np.int64),
+            "edge_u": np.asarray(edge_u, dtype=np.int64),
+            "edge_v": np.asarray(edge_v, dtype=np.int64),
+            "bal_u": np.asarray(bal_u, dtype=np.float64),
+            "bal_v": np.asarray(bal_v, dtype=np.float64),
+            "base_fee": np.asarray(base_fee, dtype=np.float64),
+            "fee_rate": np.asarray(fee_rate, dtype=np.float64),
+        }
+        meta = {
+            "nodes": node_ids,
+            "attrs": [dict(network.node_attrs(node)) for node in node_ids],
+            "backend": network.backend,
+        }
+        return cls(SharedArrayBlock.create(arrays, meta))
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedTopologyBlock":
+        """Attach to a block exported by another process."""
+        return cls(SharedArrayBlock.attach(name))
+
+    # ------------------------------------------------------------------ #
+    # reconstruction (worker side)
+    # ------------------------------------------------------------------ #
+    def build_network(self, backend: Optional[str] = None, lean: bool = True) -> PCNetwork:
+        """Reconstruct the exported network (lean/CSR-only by default).
+
+        The walk below writes the private adjacency dicts directly -- going
+        through ``add_channel`` would re-derive insertion order from the
+        undirected edge list and can permute per-node adjacency, which would
+        change path tie-breaks and the topology fingerprint.
+        """
+        arrays = self.block.arrays
+        meta = self.block.meta
+        nodes = meta["nodes"]
+        network = PCNetwork(backend=backend or meta["backend"], lean=lean)
+        for node, attrs in zip(nodes, meta["attrs"]):
+            network._node_attrs[node] = dict(attrs)
+            network._adj[node] = {}
+
+        edge_u = arrays["edge_u"]
+        edge_v = arrays["edge_v"]
+        bal_u = arrays["bal_u"]
+        bal_v = arrays["bal_v"]
+        base_fee = arrays["base_fee"]
+        fee_rate = arrays["fee_rate"]
+        channels = [
+            PaymentChannel(
+                nodes[int(edge_u[i])],
+                nodes[int(edge_v[i])],
+                float(bal_u[i]),
+                float(bal_v[i]),
+                float(base_fee[i]),
+                float(fee_rate[i]),
+            )
+            for i in range(edge_u.shape[0])
+        ]
+
+        indptr = arrays["indptr"]
+        indices = arrays["indices"]
+        adj_edge = arrays["adj_edge"]
+        internal = network._adj
+        for row, node in enumerate(nodes):
+            neighbors = internal[node]
+            for pos in range(int(indptr[row]), int(indptr[row + 1])):
+                neighbors[nodes[int(indices[pos])]] = channels[int(adj_edge[pos])]
+        network._channel_count = len(channels)
+        network.topology_version = 0
+        # Alias the block's CSR arrays so the numpy backend's GraphArrays
+        # reuses the shared read-only index structure, and pin the block on
+        # the network: the views borrow the segment's buffer, which must
+        # stay mapped for the network's lifetime.
+        network.shared_csr = (indptr, indices)
+        network._shared_block = self
+        return network
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unmap this process's view."""
+        self.block.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator side)."""
+        self.block.unlink()

@@ -1,0 +1,293 @@
+"""Tests for the shared-memory topology blocks of the xl compare path.
+
+Covers the whole contract chain: order-preserving export/reconstruction
+(bit-identical fingerprints and snapshots), read-only enforcement on the
+shared views, creator-side lifecycle (explicit unlink, idempotency, and the
+``weakref.finalize`` crash guard), lean/CSR-only reconstruction, GraphArrays
+aliasing of the shared CSR, and end-to-end compare runs that produce
+byte-identical JSONL rows with sharing on and off.
+"""
+
+import gc
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios.registry import build_comparison_spec
+from repro.scenarios.runner import (
+    ScenarioRunner,
+    _lean_reconstruction,
+    execute_run,
+    load_result_rows,
+    spec_fingerprint,
+)
+from repro.scenarios.spec import SchemeSpec, derive_seed
+from repro.topology.generators import multi_star_pcn, watts_strogatz_pcn
+from repro.topology.shared import SharedArrayBlock, SharedTopologyBlock
+
+
+def _ws_network(seed: int = 7):
+    return watts_strogatz_pcn(
+        30,
+        nearest_neighbors=4,
+        rewire_probability=0.2,
+        uniform_channel_size=200.0,
+        candidate_fraction=0.2,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def exported(request):
+    """A fresh exported block, unlinked after the test."""
+    network = _ws_network()
+    block = SharedTopologyBlock.from_network(network)
+    request.addfinalizer(block.unlink)
+    return network, block
+
+
+class TestSharedArrayBlock:
+    def test_round_trips_arrays_and_meta(self):
+        arrays = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 7),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        block = SharedArrayBlock.create(arrays, {"tag": "unit"})
+        try:
+            attached = SharedArrayBlock.attach(block.name)
+            assert attached.meta == {"tag": "unit"}
+            for key, array in arrays.items():
+                np.testing.assert_array_equal(attached.arrays[key], array)
+            attached.close()
+        finally:
+            block.unlink()
+
+    def test_views_are_read_only_on_both_sides(self):
+        block = SharedArrayBlock.create({"a": np.arange(4, dtype=np.int64)}, {})
+        try:
+            with pytest.raises(ValueError):
+                block.arrays["a"][0] = 99
+            attached = SharedArrayBlock.attach(block.name)
+            with pytest.raises(ValueError):
+                attached.arrays["a"][0] = 99
+            # The failed writes must not have leaked through.
+            np.testing.assert_array_equal(attached.arrays["a"], np.arange(4))
+            attached.close()
+        finally:
+            block.unlink()
+
+    def test_attach_rejects_foreign_segments(self):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(ValueError, match="not a shared array block"):
+                SharedArrayBlock.attach(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_unlink_is_idempotent_and_destroys_segment(self):
+        block = SharedArrayBlock.create({"a": np.arange(3)}, {})
+        name = block.name
+        block.unlink()
+        block.unlink()  # second call must not raise
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBlock.attach(name)
+
+    def test_finalizer_unlinks_after_crash(self):
+        # A sweep that dies without reaching its finally-cleanup drops the
+        # parent's reference; the weakref.finalize guard must unlink the
+        # segment so /dev/shm does not accumulate orphans.
+        block = SharedArrayBlock.create({"a": np.arange(5)}, {})
+        name = block.name
+        del block
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBlock.attach(name)
+
+
+class TestTopologyRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: _ws_network(),
+            lambda: multi_star_pcn(hub_count=3, clients_per_hub=4),
+        ],
+        ids=["watts-strogatz", "multi-star"],
+    )
+    def test_reconstruction_is_bit_identical(self, factory):
+        network = factory()
+        block = SharedTopologyBlock.from_network(network)
+        try:
+            attached = SharedTopologyBlock.attach(block.name)
+            rebuilt = attached.build_network(lean=False)
+            assert rebuilt.topology_fingerprint() == network.topology_fingerprint()
+            assert rebuilt.snapshot() == network.snapshot()
+            assert list(rebuilt.adj) == list(network.adj)
+            for node in network.adj:
+                assert list(rebuilt.adj[node]) == list(network.adj[node])
+                assert rebuilt.node_attrs(node) == network.node_attrs(node)
+            assert rebuilt.backend == network.backend
+        finally:
+            block.unlink()
+
+    def test_fees_and_balances_survive(self, exported):
+        network, block = exported
+        rebuilt = SharedTopologyBlock.attach(block.name).build_network()
+        for channel in network.channels():
+            twin = rebuilt.channel(*channel.endpoints)
+            assert twin.balance(channel.node_a) == channel.balance(channel.node_a)
+            assert twin.balance(channel.node_b) == channel.balance(channel.node_b)
+            assert twin.base_fee == channel.base_fee
+            assert twin.fee_rate == channel.fee_rate
+
+    def test_workers_cannot_corrupt_the_shared_block(self, exported):
+        network, block = exported
+        attached = SharedTopologyBlock.attach(block.name)
+        for array in attached.block.arrays.values():
+            assert not array.flags.writeable
+            if array.size:
+                with pytest.raises(ValueError):
+                    array[0] = 0
+        # Mutating the worker's reconstructed balances must not leak into
+        # the block: balances are per-worker copies, only the topology is
+        # shared.
+        rebuilt = attached.build_network()
+        channel = next(rebuilt.channels())
+        original = attached.block.arrays["bal_u"][0]
+        channel.write_balances(0.0, channel.balance(channel.node_b))
+        assert attached.block.arrays["bal_u"][0] == original
+
+
+class TestLeanReconstruction:
+    def test_lean_network_never_materializes_networkx(self, exported):
+        _, block = exported
+        rebuilt = SharedTopologyBlock.attach(block.name).build_network(lean=True)
+        assert rebuilt.lean
+        assert not rebuilt.nx_materialized
+        # Array-backed helpers work without the mirror...
+        arrays = rebuilt.graph_arrays()
+        assert arrays.indptr.shape[0] == len(rebuilt.nodes()) + 1
+        assert not rebuilt.nx_materialized
+        # ...and the mirror itself is a hard error, not a silent rebuild.
+        with pytest.raises(RuntimeError, match="lean"):
+            rebuilt.graph
+
+    def test_graph_arrays_alias_the_shared_csr(self, exported):
+        _, block = exported
+        attached = SharedTopologyBlock.attach(block.name)
+        rebuilt = attached.build_network()
+        arrays = rebuilt.graph_arrays()
+        assert np.shares_memory(arrays.indptr, attached.block.arrays["indptr"])
+        assert np.shares_memory(arrays.indices, attached.block.arrays["indices"])
+
+    def test_aliasing_stops_after_topology_mutation(self, exported):
+        _, block = exported
+        attached = SharedTopologyBlock.attach(block.name)
+        rebuilt = attached.build_network(lean=False)
+        nodes = rebuilt.nodes()
+        rebuilt.remove_channel(*next(rebuilt.channels()).endpoints)
+        assert rebuilt.topology_version > 0
+        arrays = rebuilt.graph_arrays()
+        assert not np.shares_memory(arrays.indptr, attached.block.arrays["indptr"])
+        assert arrays.indptr.shape[0] == len(nodes) + 1
+
+    def test_lean_eligibility_rules(self):
+        spec = build_comparison_spec("small", ["spider", "shortest-path"], seeds=[1])
+        assert _lean_reconstruction(spec, "numpy")
+        assert not _lean_reconstruction(spec, "python")
+        spec.schemes = [SchemeSpec("spider", params={"backend": "python"})]
+        assert not _lean_reconstruction(spec, "numpy")
+        spec.schemes = [
+            SchemeSpec("splicer", params={"router": {"backend": "python"}})
+        ]
+        assert not _lean_reconstruction(spec, "numpy")
+        spec.schemes = [SchemeSpec("splicer", params={"router": {"backend": "numpy"}})]
+        assert _lean_reconstruction(spec, "numpy")
+
+
+def _tiny_spec(name: str):
+    spec = build_comparison_spec(
+        "small",
+        ["shortest-path", "spider"],
+        seeds=[1, 2],
+        duration=2.0,
+        nodes=30,
+    )
+    spec.name = name
+    return spec
+
+
+def _sorted_rows(results_dir: str, name: str):
+    rows = load_result_rows(f"{results_dir}/{name}.jsonl")
+    return sorted(rows, key=lambda row: row["run_key"])
+
+
+class TestSharedCompareEquivalence:
+    def test_execute_run_with_and_without_block_match(self, tmp_path):
+        spec = _tiny_spec("shared-exec")
+        spec_dict = spec.to_dict()
+        block = SharedTopologyBlock.from_network(
+            spec.topology.build(derive_seed(1, "topology"))
+        )
+        try:
+            plain = execute_run((spec_dict, 1, {}))
+            shared = execute_run((spec_dict, 1, {}, block.name))
+        finally:
+            block.unlink()
+        assert json.dumps(shared, sort_keys=True) == json.dumps(plain, sort_keys=True)
+
+    def test_full_runner_rows_bit_identical(self, tmp_path):
+        spec = _tiny_spec("shared-compare")
+        baseline_dir = str(tmp_path / "plain")
+        shared_dir = str(tmp_path / "shared")
+
+        plain = ScenarioRunner(spec, results_dir=baseline_dir, workers=2)
+        plain.run()
+        shared = ScenarioRunner(
+            spec, results_dir=shared_dir, workers=2, shared_topology=True
+        )
+        shared.run()
+
+        plain_rows = _sorted_rows(baseline_dir, spec.name)
+        shared_rows = _sorted_rows(shared_dir, spec.name)
+        assert len(plain_rows) == len(spec.expand_runs())
+        assert json.dumps(shared_rows, sort_keys=True) == json.dumps(plain_rows, sort_keys=True)
+        # The runner released every block it exported.
+        assert shared._shared_blocks == {}
+
+    def test_non_scheme_grid_disables_sharing(self, tmp_path):
+        spec = _tiny_spec("shared-gridded")
+        spec.grid = {"workload.value_scale": [1.0, 2.0]}
+        runner = ScenarioRunner(
+            spec, results_dir=str(tmp_path), workers=1, shared_topology=True
+        )
+        runner._export_shared_blocks()
+        assert runner._shared_blocks == {}
+        runner._release_shared_blocks()
+
+    def test_runner_blocks_unlinked_on_crash(self, tmp_path):
+        # Simulate the parent dying between export and the finally-cleanup:
+        # dropping the runner must let the per-block finalizers unlink.
+        spec = _tiny_spec("shared-crash")
+        runner = ScenarioRunner(
+            spec, results_dir=str(tmp_path), workers=1, shared_topology=True
+        )
+        runner._export_shared_blocks()
+        names = [block.name for block in runner._shared_blocks.values()]
+        assert names
+        del runner
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedTopologyBlock.attach(name)
+
+    def test_engine_field_transparent_to_resume(self):
+        spec = _tiny_spec("fingerprints")
+        events = spec.to_dict()
+        spec.engine = "epoch"
+        epoch = spec.to_dict()
+        assert spec_fingerprint(events) == spec_fingerprint(epoch)
