@@ -22,6 +22,9 @@ Subcommands:
 * ``perf`` -- run the micro-benchmark suites, emit ``BENCH_<rev>.json`` and
   optionally gate against (``--check``) or rewrite (``--update-baseline``)
   the committed ``benchmarks/perf_baseline.json``.
+* ``doctor`` -- reap orphaned shared-memory segments left by killed
+  runners and inspect or clear sweep quarantine files
+  (see ``docs/resilience.md``).
 
 ``run`` re-invoked with the same arguments performs zero duplicate
 simulation work: completed (scenario, seed, overrides) keys are skipped.
@@ -71,10 +74,41 @@ from repro.scenarios.registry import (
     get_scenario,
     list_scenarios,
 )
+from repro.scenarios.jsonl import GridRunReport, ShardFailure, SweepInterrupted
 from repro.scenarios.runner import RESULT_SCHEMA_VERSION, ScenarioRunner
 from repro.scenarios.spec import SchemeSpec
 
 log = get_logger("repro.cli")
+
+
+def _add_resilience_arguments(sub: argparse.ArgumentParser) -> None:
+    """Shard-failure handling flags shared by the sweep pipelines."""
+    sub.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock seconds one shard may run before its worker is "
+            "killed and the attempt counts as failed (default: no timeout; "
+            "needs --workers >= 2)"
+        ),
+    )
+    sub.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="retries per failed shard under --on-shard-error=retry (default 1)",
+    )
+    sub.add_argument(
+        "--on-shard-error",
+        choices=["fail", "skip", "retry"],
+        default="retry",
+        help=(
+            "what a shard failure does: record it and retry then quarantine "
+            "(retry, default), record it and move on (skip), or record it "
+            "and stop the sweep (fail)"
+        ),
+    )
 
 
 def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
@@ -157,6 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
     _add_obs_arguments(run)
+    _add_resilience_arguments(run)
 
     compare = commands.add_parser(
         "compare", help="run the figure-8 scheme comparison, sharded over workers"
@@ -258,6 +293,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
     _add_obs_arguments(compare)
+    _add_resilience_arguments(compare)
 
     data = commands.add_parser(
         "data", help="dataset utilities: fetch fixtures, clean traces, inspect files"
@@ -317,6 +353,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the persistent hop-matrix cache",
     )
     place.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    _add_resilience_arguments(place)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="reap orphaned shared-memory segments and inspect/clear quarantines",
+    )
+    doctor.add_argument(
+        "--results-dir",
+        default=None,
+        help="results directory whose quarantine files to inspect (optional)",
+    )
+    doctor.add_argument(
+        "--clear-quarantine",
+        action="store_true",
+        help="delete the directory's quarantine files so resume re-runs those shards",
+    )
 
     report = commands.add_parser(
         "report", help="summarize a results directory (tables, failures, health)"
@@ -539,6 +591,7 @@ def _record_manifest(
     obs_dir: Optional[str] = None,
     table: Optional[str] = None,
     sources: Optional[Dict[str, object]] = None,
+    report: Optional[GridRunReport] = None,
 ) -> None:
     """Register one pipeline's outputs in ``<results_dir>/manifest.json``."""
     entry: Dict[str, object] = {
@@ -554,14 +607,62 @@ def _record_manifest(
         entry["table"] = os.path.basename(table)
     if sources:
         entry["sources"] = sources
+    if report is not None and (report.failures or report.quarantined):
+        entry["failures"] = len(report.failures)
+        entry["quarantined"] = len(report.quarantined)
     path = update_manifest(results_dir, entry)
     log.debug(f"updated manifest {path}", command=command, name=name)
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """The runner's resilience keyword arguments from the CLI flags."""
+    if args.shard_timeout is not None and args.workers <= 1:
+        log.warning(
+            "--shard-timeout needs --workers >= 2 (the serial path runs "
+            "shards in-process and cannot kill a stuck one); ignoring it"
+        )
+    return {
+        "shard_timeout": args.shard_timeout,
+        "max_retries": args.max_retries,
+        "on_error": args.on_shard_error,
+    }
+
+
+def _log_resilience(report: GridRunReport) -> None:
+    """The post-sweep resilience summary lines (silent on a clean sweep)."""
+    if report.retries:
+        log.warning(
+            f"retried {report.retries} failed shard attempt(s)", retries=report.retries
+        )
+    if report.failures:
+        log.warning(
+            f"recorded {len(report.failures)} shard failure row(s) in "
+            f"{report.results_path}",
+            failures=len(report.failures),
+        )
+    if report.quarantined:
+        log.warning(
+            f"{len(report.quarantined)} run(s) quarantined; resume skips them "
+            f"until cleared with `python -m repro doctor --clear-quarantine`",
+            quarantined=len(report.quarantined),
+        )
+    if report.corrupt_lines:
+        log.warning(
+            f"results file held {report.corrupt_lines} corrupt line(s); "
+            f"the affected run(s) re-execute on resume",
+            corrupt_lines=report.corrupt_lines,
+        )
 
 
 def _command_run(args: argparse.Namespace) -> int:
     spec = _spec_with_cli_overrides(args)
     spec.obs = _obs_settings(args)
-    runner = ScenarioRunner(spec, results_dir=args.results_dir, workers=args.workers)
+    runner = ScenarioRunner(
+        spec,
+        results_dir=args.results_dir,
+        workers=args.workers,
+        **_resilience_kwargs(args),
+    )
     total = len(spec.expand_runs())
     log.info(
         f"scenario {spec.name!r}: {total} run(s) "
@@ -588,6 +689,7 @@ def _command_run(args: argparse.Namespace) -> int:
         skipped=report.skipped,
         seconds=round(elapsed, 3),
     )
+    _log_resilience(report)
     log.info("")
     log.info(scenario_table(report.rows))
     _record_manifest(
@@ -599,6 +701,7 @@ def _command_run(args: argparse.Namespace) -> int:
         rows=len(report.rows),
         obs_dir=spec.obs.get("dir") if spec.obs else None,
         sources=_spec_sources(spec),
+        report=report,
     )
     return 0
 
@@ -687,6 +790,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             results_dir=args.results_dir,
             workers=args.workers,
             shared_topology=shared,
+            **_resilience_kwargs(args),
         )
         total = len(spec.expand_runs())
         source_kind, source_params = spec.topology.resolved_source()
@@ -721,6 +825,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             skipped=report.skipped,
             seconds=round(elapsed, 3),
         )
+        _log_resilience(report)
         peak = _peak_memory_mib()
         if peak is not None:
             runner_mib, worker_mib = peak
@@ -761,6 +866,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             obs_dir=spec.obs.get("dir") if spec.obs else None,
             table=table_path,
             sources=_spec_sources(spec),
+            report=report,
         )
     return 0
 
@@ -796,7 +902,12 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             spec.hop_cache_dir = args.path_cache_dir or os.path.join(
                 args.results_dir, "path-cache"
             )
-        runner = PlacementCompareRunner(spec, results_dir=args.results_dir, workers=args.workers)
+        runner = PlacementCompareRunner(
+            spec,
+            results_dir=args.results_dir,
+            workers=args.workers,
+            **_resilience_kwargs(args),
+        )
         total = len(spec.expand_runs())
         log.info(
             f"place-compare scale {scale!r}: {spec.nodes} nodes, "
@@ -830,6 +941,7 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             skipped=report.skipped,
             seconds=round(elapsed, 3),
         )
+        _log_resilience(report)
         probe_hits = sum(1 for row in report.rows if row.get("hop_cache") == "hit")
         probe_misses = sum(1 for row in report.rows if row.get("hop_cache") == "miss")
         if probe_hits or probe_misses:
@@ -861,7 +973,57 @@ def _command_place_compare(args: argparse.Namespace) -> int:
             schema_version=PLACE_SCHEMA_VERSION,
             rows=len(report.rows),
             table=table_path,
+            report=report,
         )
+    return 0
+
+
+def _command_doctor(args: argparse.Namespace) -> int:
+    """Health checks: reap orphaned shared memory, inspect/clear quarantines."""
+    import glob as _glob
+
+    from repro.topology.shared import reap_orphan_segments, scan_segments
+
+    reaped = reap_orphan_segments()
+    log.info(
+        f"reaped {len(reaped)} orphaned shared-memory segment(s)"
+        + (f": {', '.join(reaped)}" if reaped else ""),
+        reaped=len(reaped),
+    )
+    live = [name for name, _owner, alive in scan_segments() if alive]
+    if live:
+        log.info(
+            f"{len(live)} segment(s) belong to live runner(s) and were left alone",
+            live=len(live),
+        )
+    if args.results_dir is None:
+        if args.clear_quarantine:
+            raise ValueError("--clear-quarantine needs --results-dir")
+        return 0
+    if not os.path.isdir(args.results_dir):
+        raise ValueError(f"results directory {args.results_dir!r} does not exist")
+    quarantine_files = sorted(
+        _glob.glob(os.path.join(args.results_dir, "*.quarantine.jsonl"))
+    )
+    if not quarantine_files:
+        log.info(f"no quarantine files under {args.results_dir}")
+        return 0
+    for path in quarantine_files:
+        with open(path, "r", encoding="utf-8") as handle:
+            entries = [line for line in handle if line.strip()]
+        log.info(f"{path}: {len(entries)} quarantined run(s)", path=path)
+        for line in entries:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            log.info(
+                f"  {entry.get('run_key', '?')} -- {entry.get('failure', '?')} "
+                f"{entry.get('error', '')} after {entry.get('attempts', '?')} attempt(s)"
+            )
+        if args.clear_quarantine:
+            os.unlink(path)
+            log.info(f"cleared {path}; resume will re-run those shards", path=path)
     return 0
 
 
@@ -1054,9 +1216,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_report(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "doctor":
+            return _command_doctor(args)
         if args.command == "data":
             return run_data_command(args)
         return _command_run(args)
+    except ShardFailure as error:
+        log.error(str(error))
+        return 1
+    except SweepInterrupted as error:
+        log.error(str(error))
+        # The conventional fatal-signal exit code, so wrapping scripts and
+        # CI see the interruption as such rather than as a crash.
+        return 128 + error.signum
     except (KeyError, ValueError) as error:
         log.error(str(error.args[0] if error.args else error))
         return 2

@@ -13,6 +13,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -62,7 +63,9 @@ def update_manifest(results_dir: str, entry: Dict[str, object]) -> str:
 
     Entries are keyed by ``(command, name)``: re-running a pipeline replaces
     its entry instead of appending duplicates, so the manifest always lists
-    each results file once with its latest state.
+    each results file once with its latest state.  The file is written via
+    temp file plus atomic rename (the path-store convention), so a runner
+    killed mid-write can never leave a torn manifest behind.
     """
     os.makedirs(results_dir, exist_ok=True)
     manifest = load_manifest(results_dir) or {"manifest_version": MANIFEST_VERSION, "entries": []}
@@ -75,9 +78,16 @@ def update_manifest(results_dir: str, entry: Dict[str, object]) -> str:
     entries.append(entry)
     manifest["entries"] = entries
     path = _manifest_path(results_dir)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
+    handle, temp_path = tempfile.mkstemp(dir=results_dir, prefix="manifest.json.tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(manifest, stream, indent=2, sort_keys=True, default=str)
+            stream.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
     return path
 
 
@@ -150,6 +160,49 @@ def _health_summary_rows(results_dir: str, rows: Sequence[Dict[str, object]]) ->
     ]
 
 
+def _shard_failure_section(
+    failure_rows: Sequence[Dict[str, object]],
+    ok_rows: Sequence[Dict[str, object]],
+) -> List[str]:
+    """The ``shard failures`` report lines, or an empty list when clean.
+
+    A failure row whose run key later gained a success row was *recovered*
+    (a retry or a resume re-ran it); only unrecovered keys get table rows,
+    recovered ones collapse into a single count line.
+    """
+    if not failure_rows:
+        return []
+    recovered_keys = {str(row.get("run_key")) for row in ok_rows}
+    unresolved: Dict[str, Dict[str, object]] = {}
+    attempts: Dict[str, int] = {}
+    recovered = 0
+    for row in failure_rows:
+        key = str(row.get("run_key"))
+        attempts[key] = attempts.get(key, 0) + 1
+        if key in recovered_keys:
+            recovered += 1
+            continue
+        unresolved[key] = row
+    lines = ["", "shard failures"]
+    if recovered:
+        lines.append(
+            f"{recovered} failed attempt(s) later recovered by retry or resume"
+        )
+    if unresolved:
+        table_rows = [
+            {
+                "run_key": key if len(key) <= 60 else key[:57] + "...",
+                "failure": row.get("failure", ""),
+                "error": row.get("error", ""),
+                "attempts": attempts[key],
+                "digest": row.get("traceback_digest", ""),
+            }
+            for key, row in sorted(unresolved.items())
+        ]
+        lines.append(format_table(table_rows))
+    return lines
+
+
 def render_report(results_dir: str) -> str:
     """The full ``repro report`` text for one results directory."""
     if not os.path.isdir(results_dir):
@@ -164,9 +217,14 @@ def render_report(results_dir: str) -> str:
         name = str(entry.get("name", "results"))
         results_path = _resolve(results_dir, str(entry.get("results", f"{name}.jsonl")))
         schema_version = int(entry.get("schema_version", RESULT_SCHEMA_VERSION))
-        rows = load_result_rows(results_path, schema_version)
+        all_rows = load_result_rows(results_path, schema_version)
+        rows = [row for row in all_rows if row.get("status") != "failed"]
+        failure_rows = [row for row in all_rows if row.get("status") == "failed"]
         title = f"{name} ({entry.get('command', 'unknown')}, {len(rows)} row(s))"
         block = [title, "=" * len(title)]
+        failure_section = _shard_failure_section(failure_rows, rows)
+        if failure_section:
+            block.extend(failure_section)
         if not rows:
             block.append("(no rows at the current schema version)")
             sections.append("\n".join(block))

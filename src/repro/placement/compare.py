@@ -248,8 +248,9 @@ class PlacementCompareRunner(JsonlGridRunner):
         spec: PlacementCompareSpec,
         results_dir: str = os.path.join("results", "place"),
         workers: int = 1,
+        **resilience,
     ) -> None:
-        super().__init__(results_dir=results_dir, workers=workers)
+        super().__init__(results_dir=results_dir, workers=workers, **resilience)
         self.spec = spec
 
     @property

@@ -5,7 +5,7 @@ This is the worker infrastructure behind both the scenario runner
 (:mod:`repro.placement.compare`).  A *grid runner* owns a results file of
 one JSON object per line; every grid entry has a stable ``run_key``; running
 the grid executes only the keys not yet present in the file (resume), fans
-the work over a ``multiprocessing`` pool, and appends rows in completion
+the work over supervised worker processes, and appends rows in completion
 order with a flush per row so an interrupted sweep loses at most the row
 being written.
 
@@ -21,15 +21,56 @@ Subclasses provide three things:
 Executed tasks must return a JSON-safe row dict carrying ``run_key`` and
 ``schema_version``; rows with a foreign schema version are ignored on load
 so stale files never mask new work.
+
+Resilience contract (the failure-survival layer):
+
+* a shard that raises, times out, gets killed or returns a corrupt row
+  never aborts the sweep: the failure is captured as a structured *failure
+  row* (``status="failed"`` plus error class, message and traceback
+  digest) appended to the results file, and the shard is retried with
+  deterministic capped exponential backoff (``on_error="retry"``, the
+  default), skipped (``"skip"``), or -- for the legacy behavior -- the
+  sweep stops after recording the row (``"fail"``);
+* failure rows never count as completed: resume re-runs them, and a later
+  success row supersedes them in every report;
+* a shard that exhausts its retries is written to a *quarantine file*
+  (``<results>.quarantine.jsonl``) and skipped on subsequent resumes with
+  a visible warning, so one poisoned shard cannot wedge a sweep forever
+  (``python -m repro doctor --clear-quarantine`` lifts the quarantine);
+* worker processes are supervised individually (one process per shard,
+  at most ``workers`` alive): a worker that dies (OOM kill, segfault,
+  ``kill -9``) is detected through its exit code and a stuck worker is
+  killed once ``shard_timeout`` wall-clock seconds pass, freeing the slot
+  for the remaining shards either way;
+* SIGINT/SIGTERM stop the sweep gracefully: in-flight shards are killed,
+  the results file is left newline-clean, cleanup (shared-memory blocks,
+  signal handlers) runs, and :class:`SweepInterrupted` propagates so the
+  CLI can exit with the conventional ``128 + signum`` -- a plain rerun
+  resumes byte-identically;
+* a deterministic :class:`~repro.scenarios.faults.FaultPlan` (spec field,
+  constructor argument or the ``REPRO_FAULT_PLAN`` environment variable)
+  injects exactly these failures on chosen shard attempts, which is how
+  ``tests/resilience`` exercises every recovery path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
+import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+from repro.scenarios.faults import FaultDirective, FaultPlan, run_with_directive
+
+log = get_logger("repro.sweep")
 
 #: Bumped when a row layout changes; rows with another version are ignored
 #: by resume so stale files never mask new work.  Version 2: the phased
@@ -41,17 +82,48 @@ from typing import Callable, Dict, List, Optional
 #: the report command aggregates, so resume must re-run them.
 RESULT_SCHEMA_VERSION = 3
 
+#: Failure kinds a shard attempt can be captured with.
+FAILURE_KINDS = ("exception", "timeout", "worker-death", "corrupt-output")
 
-def load_result_rows(path: str, schema_version: int = RESULT_SCHEMA_VERSION) -> List[Dict[str, object]]:
-    """Parse a results JSONL file, skipping corrupt/partial lines.
+#: Paths already warned about corrupt lines (one warning per file per
+#: process; the count stays visible in every :class:`GridRunReport`).
+_CORRUPT_WARNED: set = set()
+
+
+class ShardFailure(RuntimeError):
+    """Raised under ``on_error="fail"`` after a shard failure is recorded."""
+
+    def __init__(self, run_key: str, kind: str, message: str) -> None:
+        super().__init__(f"shard {run_key} failed ({kind}): {message}")
+        self.run_key = run_key
+        self.kind = kind
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised after a SIGINT/SIGTERM shutdown has checkpointed cleanly."""
+
+    def __init__(self, signum: int) -> None:
+        name = signal.Signals(signum).name if signum in signal.valid_signals() else signum
+        super().__init__(f"sweep interrupted by {name}; partial results are resumable")
+        self.signum = signum
+
+
+def read_result_rows(
+    path: str, schema_version: int = RESULT_SCHEMA_VERSION
+) -> Tuple[List[Dict[str, object]], int]:
+    """Parse a results JSONL file; return ``(rows, corrupt_line_count)``.
 
     A run killed mid-write leaves at most one truncated trailing line; it is
     dropped (and its run re-executes on resume) rather than poisoning the
-    whole file.
+    whole file.  Dropped lines are *counted* and warned about once per file,
+    so silent corruption (a failing disk, a concurrent writer) stays
+    visible instead of quietly shrinking the sweep.  Rows with a foreign
+    schema version are ignored without counting -- staleness, not damage.
     """
     rows: List[Dict[str, object]] = []
+    corrupt = 0
     if not os.path.exists(path):
-        return rows
+        return rows, corrupt
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -60,10 +132,29 @@ def load_result_rows(path: str, schema_version: int = RESULT_SCHEMA_VERSION) -> 
             try:
                 row = json.loads(line)
             except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            if not isinstance(row, dict):
+                corrupt += 1
                 continue
             if row.get("schema_version") == schema_version and "run_key" in row:
                 rows.append(row)
-    return rows
+    if corrupt and path not in _CORRUPT_WARNED:
+        _CORRUPT_WARNED.add(path)
+        log.warning(
+            f"{path}: skipped {corrupt} corrupt JSONL line(s); "
+            f"the affected run(s) will re-execute on resume",
+            path=path,
+            corrupt_lines=corrupt,
+        )
+    return rows, corrupt
+
+
+def load_result_rows(
+    path: str, schema_version: int = RESULT_SCHEMA_VERSION
+) -> List[Dict[str, object]]:
+    """Parse a results JSONL file, skipping (and warning about) corrupt lines."""
+    return read_result_rows(path, schema_version)[0]
 
 
 def terminate_partial_line(path: str) -> None:
@@ -85,13 +176,23 @@ def terminate_partial_line(path: str) -> None:
 
 @dataclass
 class GridRunReport:
-    """What one :meth:`JsonlGridRunner.run` invocation did."""
+    """What one :meth:`JsonlGridRunner.run` invocation did.
+
+    ``rows`` holds only successful result rows; failure rows captured this
+    invocation land in ``failures``, keys skipped or newly written to the
+    quarantine file in ``quarantined``, and ``retries``/``corrupt_lines``
+    surface how much resilience machinery actually fired.
+    """
 
     name: str
     results_path: str
     executed: int
     skipped: int
     rows: List[Dict[str, object]] = field(default_factory=list)
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    retries: int = 0
+    corrupt_lines: int = 0
 
     @property
     def total(self) -> int:
@@ -99,8 +200,83 @@ class GridRunReport:
         return self.executed + self.skipped
 
 
+@dataclass
+class _Shard:
+    """One pending grid entry moving through the supervised dispatch loop."""
+
+    key: str
+    task: object
+    index: int
+    attempt: int = 0
+    not_before: float = 0.0
+    process: Optional[object] = None
+    conn: Optional[object] = None
+    deadline: Optional[float] = None
+
+
+def _traceback_digest(text: str) -> str:
+    """A short stable digest of a traceback, for failure-row dedup/grep."""
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def _shard_worker(
+    execute: Callable[[object], Dict[str, object]],
+    task: object,
+    conn,
+    directive: Optional[FaultDirective],
+) -> None:
+    """Worker-process entry point: run one task, send one message, exit.
+
+    SIGINT is ignored so a terminal Ctrl-C reaches only the supervising
+    parent, which then kills in-flight workers deliberately (SIGTERM/KILL).
+    The single message is ``("ok", row)`` or ``("error", info)``; a worker
+    that dies without sending anything is detected by the parent through
+    its exit code.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread start methods
+        pass
+    try:
+        row = run_with_directive(execute, task, directive)
+        conn.send(("ok", row))
+    except BaseException as error:  # noqa: BLE001 - captured into a failure row
+        conn.send(
+            (
+                "error",
+                {
+                    "error": type(error).__name__,
+                    "error_message": str(error)[:500],
+                    "traceback_digest": _traceback_digest(traceback.format_exc()),
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
 class JsonlGridRunner:
-    """Runs a keyed task grid over worker processes, resumably."""
+    """Runs a keyed task grid over supervised worker processes, resumably.
+
+    Resilience knobs (all keyword-only):
+
+    Args:
+        shard_timeout: Wall-clock seconds one shard attempt may run before
+            its worker is killed and the attempt counts as failed
+            (``None``/``0`` disables; enforced only on the multi-worker
+            supervised path).
+        max_retries: Failed-shard re-dispatch budget under
+            ``on_error="retry"``.
+        on_error: ``"retry"`` (default) retries then quarantines,
+            ``"skip"`` records the failure row and moves on, ``"fail"``
+            records the failure row and raises :class:`ShardFailure`.
+        backoff_base / backoff_cap: Deterministic capped exponential
+            backoff: attempt ``n`` waits ``min(base * 2**n, cap)`` seconds
+            before re-dispatch (the slot serves other shards meanwhile).
+        fault_plan: Deterministic fault injection for tests/CI; when
+            ``None`` the ``REPRO_FAULT_PLAN`` environment variable is
+            consulted at run start.
+    """
 
     #: Schema version stamped on and required of every row.
     schema_version = RESULT_SCHEMA_VERSION
@@ -109,11 +285,38 @@ class JsonlGridRunner:
     #: :class:`GridRunReport` subclass (extra accessors, domain naming).
     report_class = GridRunReport
 
-    def __init__(self, results_dir: str, workers: int = 1) -> None:
+    #: Supervision poll period (seconds); latency of death/timeout detection.
+    _POLL_INTERVAL = 0.02
+
+    def __init__(
+        self,
+        results_dir: str,
+        workers: int = 1,
+        *,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        on_error: str = "retry",
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if on_error not in ("fail", "skip", "retry"):
+            raise ValueError(
+                f"on_error must be 'fail', 'skip' or 'retry', got {on_error!r}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.results_dir = results_dir
         self.workers = workers
+        self.shard_timeout = shard_timeout if shard_timeout else None
+        self.max_retries = max_retries
+        self.on_error = on_error
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fault_plan = fault_plan
+        self._stop_signal: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # the grid contract (subclass responsibilities)
@@ -143,13 +346,148 @@ class JsonlGridRunner:
         """The grid's JSONL results file."""
         return os.path.join(self.results_dir, f"{self.results_name}.jsonl")
 
+    @property
+    def quarantine_path(self) -> str:
+        """The grid's quarantine file (persistently-failing run keys)."""
+        return os.path.join(self.results_dir, f"{self.results_name}.quarantine.jsonl")
+
     def completed_keys(self) -> set:
-        """Run keys already present in the results file."""
+        """Run keys already *successfully* completed in the results file.
+
+        Failure rows (``status="failed"``) never count: resume re-runs the
+        shard unless the quarantine file says otherwise.
+        """
         return {
             row["run_key"]
             for row in load_result_rows(self.results_path, self.schema_version)
+            if row.get("status") != "failed"
         }
 
+    def quarantined_keys(self) -> Dict[str, Dict[str, object]]:
+        """Quarantine entries keyed by run key (empty when no file exists)."""
+        entries: Dict[str, Dict[str, object]] = {}
+        if not os.path.exists(self.quarantine_path):
+            return entries
+        with open(self.quarantine_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and "run_key" in entry:
+                    entries[str(entry["run_key"])] = entry
+        return entries
+
+    def pending_entries(self) -> List[Tuple[str, object]]:
+        """``(run_key, task)`` pairs of the pending grid entries, in grid order."""
+        done = self.completed_keys()
+        keys = [key for key in self.expected_keys() if key not in done]
+        tasks = self.pending_tasks()
+        if len(keys) != len(tasks):
+            raise RuntimeError(
+                f"grid contract violation: {len(keys)} pending key(s) but "
+                f"{len(tasks)} pending task(s) for {self.results_name!r}"
+            )
+        return list(zip(keys, tasks))
+
+    # ------------------------------------------------------------------ #
+    # failure capture
+    # ------------------------------------------------------------------ #
+    def _failure_row(
+        self,
+        key: str,
+        kind: str,
+        attempt: int,
+        final: bool,
+        info: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """The structured failure row recorded for one failed shard attempt."""
+        info = info or {}
+        return {
+            "schema_version": self.schema_version,
+            "run_key": key,
+            "status": "failed",
+            "failure": kind,
+            "error": str(info.get("error", "")),
+            "error_message": str(info.get("error_message", ""))[:500],
+            "traceback_digest": str(info.get("traceback_digest", "")),
+            "attempt": attempt,
+            "final": final,
+        }
+
+    def _quarantine(self, row: Dict[str, object]) -> None:
+        """Append one permanently-failed run key to the quarantine file."""
+        entry = {
+            "run_key": row["run_key"],
+            "failure": row["failure"],
+            "error": row["error"],
+            "error_message": row["error_message"],
+            "attempts": int(row["attempt"]) + 1,
+        }
+        os.makedirs(self.results_dir, exist_ok=True)
+        with open(self.quarantine_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        log.warning(
+            f"quarantined {row['run_key']} after {entry['attempts']} attempt(s) "
+            f"({row['failure']} {row['error']}); resume will skip it -- "
+            f"clear with `python -m repro doctor --results-dir {self.results_dir} "
+            f"--clear-quarantine`",
+            run_key=row["run_key"],
+            failure=row["failure"],
+        )
+
+    def _validate_row(self, row: object, key: str) -> bool:
+        """Whether a worker's payload is the well-formed row of this shard."""
+        return (
+            isinstance(row, dict)
+            and row.get("run_key") == key
+            and row.get("schema_version") == self.schema_version
+        )
+
+    # ------------------------------------------------------------------ #
+    # signal handling
+    # ------------------------------------------------------------------ #
+    def _install_signal_handlers(self) -> Dict[int, object]:
+        """Route SIGINT/SIGTERM to a graceful-stop flag (main thread only).
+
+        A second signal while already stopping restores the default
+        disposition and re-raises, so a wedged shutdown can still be
+        forced from the terminal.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+
+        def handler(signum, frame):  # pragma: no cover - async delivery
+            if self._stop_signal is not None:
+                signal.signal(signum, signal.SIG_DFL)
+                os.kill(os.getpid(), signum)
+                return
+            self._stop_signal = signum
+
+        previous: Dict[int, object] = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous: Dict[int, object]) -> None:
+        """Put the pre-run signal dispositions back."""
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
     def run(
         self,
         workers: Optional[int] = None,
@@ -160,38 +498,78 @@ class JsonlGridRunner:
         Args:
             workers: Worker-process count (defaults to the constructor's).
             on_row: Optional progress callback invoked with each fresh row.
+
+        Raises:
+            ShardFailure: Under ``on_error="fail"`` once a shard fails.
+            SweepInterrupted: After a graceful SIGINT/SIGTERM shutdown.
         """
         worker_count = self.workers if workers is None else workers
-        tasks = self.pending_tasks()
+        entries = self.pending_entries()
         expected = self.expected_keys()
-        skipped = len(expected) - len(tasks)
+        skipped = len(expected) - len(entries)
         execute = self.executor()
+        plan = self.fault_plan or FaultPlan.from_env()
         os.makedirs(self.results_dir, exist_ok=True)
 
+        quarantine = self.quarantined_keys()
+        blocked = [key for key, _task in entries if key in quarantine]
+        if blocked:
+            entries = [(key, task) for key, task in entries if key not in quarantine]
+            log.warning(
+                f"{self.results_name}: skipping {len(blocked)} quarantined run(s) "
+                f"(see {self.quarantine_path})",
+                quarantined=len(blocked),
+            )
+
         fresh_rows: List[Dict[str, object]] = []
-        if tasks:
-            terminate_partial_line(self.results_path)
-            with open(self.results_path, "a", encoding="utf-8") as handle:
+        failures: List[Dict[str, object]] = []
+        retries = 0
+        self._stop_signal = None
+        previous_handlers = self._install_signal_handlers()
+        try:
+            if entries:
+                terminate_partial_line(self.results_path)
+                with open(self.results_path, "a", encoding="utf-8") as handle:
 
-                def record(row: Dict[str, object]) -> None:
-                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
-                    handle.flush()
-                    fresh_rows.append(row)
-                    if on_row is not None:
-                        on_row(row)
+                    def record(row: Dict[str, object]) -> None:
+                        handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+                        handle.flush()
+                        fresh_rows.append(row)
+                        if on_row is not None:
+                            on_row(row)
 
-                if worker_count <= 1 or len(tasks) == 1:
-                    for task in tasks:
-                        record(execute(task))
-                else:
-                    with multiprocessing.Pool(min(worker_count, len(tasks))) as pool:
-                        for row in pool.imap_unordered(execute, tasks):
-                            record(row)
+                    def record_failure(row: Dict[str, object]) -> None:
+                        handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+                        handle.flush()
+                        failures.append(row)
+
+                    shards = [
+                        _Shard(key=key, task=task, index=index)
+                        for index, (key, task) in enumerate(entries)
+                    ]
+                    if worker_count <= 1:
+                        retries = self._run_serial(
+                            shards, execute, plan, record, record_failure
+                        )
+                    else:
+                        retries = self._run_supervised(
+                            shards, worker_count, execute, plan, record, record_failure
+                        )
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+        if self._stop_signal is not None:
+            raise SweepInterrupted(self._stop_signal)
 
         # Report only this grid's rows: the file may also hold rows of the
         # same name run with other parameters (different fingerprints), which
-        # must not leak into the aggregate.
+        # must not leak into the aggregate.  Failure rows never make it into
+        # ``rows``: a failed shard either has a fresher success row or is
+        # reported through ``failures``/``quarantined``.
         expected_set = set(expected)
+        all_rows, corrupt_lines = read_result_rows(self.results_path, self.schema_version)
+        quarantined = sorted(
+            key for key in self.quarantined_keys() if key in expected_set
+        )
         return self.report_class(
             name=self.results_name,
             results_path=self.results_path,
@@ -199,7 +577,302 @@ class JsonlGridRunner:
             skipped=skipped,
             rows=[
                 row
-                for row in load_result_rows(self.results_path, self.schema_version)
-                if row["run_key"] in expected_set
+                for row in all_rows
+                if row["run_key"] in expected_set and row.get("status") != "failed"
             ],
+            failures=failures,
+            quarantined=quarantined,
+            retries=retries,
+            corrupt_lines=corrupt_lines,
         )
+
+    # ------------------------------------------------------------------ #
+    # serial path (workers == 1): in-process, retries but no supervision
+    # ------------------------------------------------------------------ #
+    def _run_serial(
+        self,
+        shards: List[_Shard],
+        execute: Callable[[object], Dict[str, object]],
+        plan: Optional[FaultPlan],
+        record: Callable[[Dict[str, object]], None],
+        record_failure: Callable[[Dict[str, object]], None],
+    ) -> int:
+        """Execute shards in-process; exceptions and corrupt rows are captured.
+
+        Hang/kill faults act on the runner process itself here -- timeout
+        supervision and death detection need the multi-worker path.
+        """
+        retries = 0
+        for shard in shards:
+            while True:
+                if self._stop_signal is not None:
+                    return retries
+                directive = (
+                    plan.directive_for(shard.index, shard.attempt) if plan else None
+                )
+                info: Optional[Dict[str, object]] = None
+                row: object = None
+                try:
+                    if directive is None:
+                        row = execute(shard.task)
+                    else:
+                        row = run_with_directive(execute, shard.task, directive)
+                except Exception as error:  # noqa: BLE001 - captured per contract
+                    info = {
+                        "error": type(error).__name__,
+                        "error_message": str(error)[:500],
+                        "traceback_digest": _traceback_digest(traceback.format_exc()),
+                    }
+                    kind = "exception"
+                if info is None:
+                    if self._validate_row(row, shard.key):
+                        record(row)  # type: ignore[arg-type]
+                        break
+                    info = {
+                        "error": "CorruptRow",
+                        "error_message": f"executor returned {type(row).__name__}, not "
+                        f"the row of {shard.key}",
+                    }
+                    kind = "corrupt-output"
+                if self._handle_failure(shard, kind, info, record_failure):
+                    retries += 1
+                    delay = self._backoff(shard.attempt - 1)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                break
+        return retries
+
+    # ------------------------------------------------------------------ #
+    # supervised path (workers > 1): one process per shard attempt
+    # ------------------------------------------------------------------ #
+    def _run_supervised(
+        self,
+        shards: List[_Shard],
+        worker_count: int,
+        execute: Callable[[object], Dict[str, object]],
+        plan: Optional[FaultPlan],
+        record: Callable[[Dict[str, object]], None],
+        record_failure: Callable[[Dict[str, object]], None],
+    ) -> int:
+        """Supervised dispatch: launch, poll, detect death/timeout, retry.
+
+        Each shard attempt gets its own worker process and result pipe, at
+        most ``worker_count`` alive at once.  The poll loop notices three
+        terminal conditions per shard -- a message arrived, the process
+        died without one, or the deadline passed -- and requeues or records
+        accordingly; remaining shards keep draining throughout.
+        """
+        ctx = multiprocessing.get_context()
+        pending = deque(shards)
+        running: List[_Shard] = []
+        retries = 0
+        try:
+            while pending or running:
+                if self._stop_signal is not None:
+                    break
+                now = time.monotonic()
+                progressed = self._launch_eligible(
+                    pending, running, worker_count, ctx, execute, plan, now
+                )
+                for shard in list(running):
+                    outcome = self._poll_shard(shard, time.monotonic())
+                    if outcome is None:
+                        continue
+                    progressed = True
+                    running.remove(shard)
+                    status, payload = outcome
+                    if status == "ok":
+                        record(payload)  # type: ignore[arg-type]
+                        continue
+                    kind, info = payload  # type: ignore[misc]
+                    if self._handle_failure(shard, kind, info, record_failure):
+                        retries += 1
+                        shard.not_before = time.monotonic() + self._backoff(
+                            shard.attempt - 1
+                        )
+                        pending.append(shard)
+                if not progressed:
+                    time.sleep(self._POLL_INTERVAL)
+        finally:
+            for shard in running:
+                self._reap(shard, kill=True)
+        return retries
+
+    def _launch_eligible(
+        self,
+        pending: deque,
+        running: List[_Shard],
+        worker_count: int,
+        ctx,
+        execute: Callable[[object], Dict[str, object]],
+        plan: Optional[FaultPlan],
+        now: float,
+    ) -> bool:
+        """Start eligible pending shards into free worker slots."""
+        launched = False
+        for _ in range(len(pending)):
+            if len(running) >= worker_count:
+                break
+            shard = pending.popleft()
+            if shard.not_before > now:
+                pending.append(shard)
+                continue
+            directive = plan.directive_for(shard.index, shard.attempt) if plan else None
+            receive, send = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(execute, shard.task, send, directive),
+                daemon=True,
+            )
+            process.start()
+            send.close()
+            shard.process = process
+            shard.conn = receive
+            shard.deadline = (
+                time.monotonic() + self.shard_timeout if self.shard_timeout else None
+            )
+            running.append(shard)
+            launched = True
+        return launched
+
+    def _poll_shard(self, shard: _Shard, now: float) -> Optional[Tuple[str, object]]:
+        """One supervision check: ``None`` (still running) or the outcome.
+
+        Outcomes: ``("ok", row)`` for a validated result row, or
+        ``("fail", (kind, info))`` for any captured failure.
+        """
+        conn = shard.conn
+        process = shard.process
+        has_message = conn.poll(0)
+        if not has_message and not process.is_alive():
+            # The process exited between polls; a message may still be in
+            # flight in the pipe buffer -- check once more before declaring
+            # the worker dead.
+            has_message = conn.poll(0.05)
+            if not has_message:
+                exitcode = process.exitcode
+                self._reap(shard, kill=False)
+                return (
+                    "fail",
+                    (
+                        "worker-death",
+                        {
+                            "error": "WorkerDied",
+                            "error_message": f"worker exited with code {exitcode} "
+                            f"before returning a row",
+                        },
+                    ),
+                )
+        if has_message:
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError, ValueError):
+                self._reap(shard, kill=True)
+                return (
+                    "fail",
+                    (
+                        "worker-death",
+                        {
+                            "error": "WorkerDied",
+                            "error_message": "worker pipe closed mid-message",
+                        },
+                    ),
+                )
+            self._reap(shard, kill=False)
+            if status == "ok":
+                if self._validate_row(payload, shard.key):
+                    return ("ok", payload)
+                return (
+                    "fail",
+                    (
+                        "corrupt-output",
+                        {
+                            "error": "CorruptRow",
+                            "error_message": f"worker returned {type(payload).__name__}, "
+                            f"not the row of {shard.key}",
+                        },
+                    ),
+                )
+            return ("fail", ("exception", payload))
+        if shard.deadline is not None and now >= shard.deadline:
+            self._reap(shard, kill=True)
+            return (
+                "fail",
+                (
+                    "timeout",
+                    {
+                        "error": "ShardTimeout",
+                        "error_message": f"no result within {self.shard_timeout}s; "
+                        f"worker killed",
+                    },
+                ),
+            )
+        return None
+
+    def _reap(self, shard: _Shard, kill: bool) -> None:
+        """Terminate (if asked) and join one shard's worker; close its pipe."""
+        process = shard.process
+        if process is not None:
+            if kill and process.is_alive():
+                process.kill()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                log.warning(f"worker pid {process.pid} survived SIGKILL join")
+            else:
+                process.close()
+        if shard.conn is not None:
+            shard.conn.close()
+        shard.process = None
+        shard.conn = None
+        shard.deadline = None
+
+    # ------------------------------------------------------------------ #
+    # failure policy
+    # ------------------------------------------------------------------ #
+    def _backoff(self, failed_attempt: int) -> float:
+        """Deterministic capped exponential backoff before a re-dispatch."""
+        return min(self.backoff_base * (2**failed_attempt), self.backoff_cap)
+
+    def _handle_failure(
+        self,
+        shard: _Shard,
+        kind: str,
+        info: Dict[str, object],
+        record_failure: Callable[[Dict[str, object]], None],
+    ) -> bool:
+        """Record one failed attempt; return ``True`` when it should retry.
+
+        Every failed attempt leaves a structured failure row.  Under
+        ``retry`` the shard is re-dispatched until ``max_retries`` is
+        exhausted, then quarantined; ``skip`` moves on immediately (the
+        shard re-runs on a future resume); ``fail`` raises.
+        """
+        will_retry = self.on_error == "retry" and shard.attempt < self.max_retries
+        row = self._failure_row(
+            shard.key, kind, shard.attempt, final=not will_retry, info=info
+        )
+        record_failure(row)
+        if will_retry:
+            shard.attempt += 1
+            log.warning(
+                f"shard {shard.key} failed ({kind} {row['error']}); "
+                f"retry {shard.attempt}/{self.max_retries} "
+                f"after {self._backoff(shard.attempt - 1):.1f}s backoff",
+                run_key=shard.key,
+                failure=kind,
+                attempt=shard.attempt,
+            )
+            return True
+        if self.on_error == "fail":
+            raise ShardFailure(shard.key, kind, str(row["error_message"]))
+        if self.on_error == "retry":
+            self._quarantine(row)
+        else:
+            log.warning(
+                f"shard {shard.key} failed ({kind} {row['error']}); skipped "
+                f"(on_error=skip; a future resume will re-run it)",
+                run_key=shard.key,
+                failure=kind,
+            )
+        return False

@@ -27,6 +27,8 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.obs import DEFAULT_SAMPLE_RATE, HealthRecorder, RunRecorder, use_recorder
+from repro.obs.log import get_logger
+from repro.scenarios.faults import FaultPlan
 from repro.scenarios.jsonl import (
     RESULT_SCHEMA_VERSION,
     GridRunReport,
@@ -34,6 +36,8 @@ from repro.scenarios.jsonl import (
     load_result_rows,
 )
 from repro.scenarios.spec import ScenarioSpec, derive_seed
+
+log = get_logger("repro.sweep")
 
 __all__ = [
     "RESULT_SCHEMA_VERSION",
@@ -53,8 +57,18 @@ __all__ = [
 #: tracing must not re-run a completed sweep either.  The execution engine
 #: (per-event loop vs epoch stepper) is decision-identical by contract --
 #: pinned by ``tests/simulator/test_epoch_stepper_equivalence.py`` -- so
-#: switching engines must not re-run a completed sweep.
-_NON_FINGERPRINT_FIELDS = ("seeds", "grid", "description", "path_cache_dir", "obs", "engine")
+#: switching engines must not re-run a completed sweep.  Fault plans perturb
+#: execution (retries, worker kills), never results, so a chaos run and a
+#: clean run must share run keys and resume into the same file.
+_NON_FINGERPRINT_FIELDS = (
+    "seeds",
+    "grid",
+    "description",
+    "path_cache_dir",
+    "obs",
+    "engine",
+    "fault_plan",
+)
 
 
 def spec_fingerprint(spec_dict: Dict[str, object]) -> str:
@@ -240,8 +254,11 @@ class ScenarioRunner(JsonlGridRunner):
         results_dir: str = os.path.join("results", "scenarios"),
         workers: int = 1,
         shared_topology: bool = False,
+        **resilience,
     ) -> None:
-        super().__init__(results_dir=results_dir, workers=workers)
+        if resilience.get("fault_plan") is None and spec.fault_plan is not None:
+            resilience["fault_plan"] = FaultPlan.from_dict(spec.fault_plan)
+        super().__init__(results_dir=results_dir, workers=workers, **resilience)
         self.spec = spec
         self.shared_topology = shared_topology
         self._shared_blocks: Dict[int, "SharedTopologyBlock"] = {}
@@ -284,9 +301,23 @@ class ScenarioRunner(JsonlGridRunner):
         return execute_run
 
     def run(self, workers=None, on_row=None) -> GridRunReport:
-        """Execute pending runs, exporting shared topology blocks if enabled."""
+        """Execute pending runs, exporting shared topology blocks if enabled.
+
+        A shared-topology sweep starts by reaping orphaned shared-memory
+        segments of dead owner processes (a previous runner killed hard),
+        so crashed sweeps cannot leak machine memory across restarts.
+        """
         if not self.shared_topology:
             return super().run(workers=workers, on_row=on_row)
+        from repro.topology.shared import reap_orphan_segments
+
+        reaped = reap_orphan_segments()
+        if reaped:
+            log.info(
+                f"reaped {len(reaped)} orphaned shared-memory segment(s) "
+                f"from dead runner process(es)",
+                reaped=len(reaped),
+            )
         self._export_shared_blocks()
         try:
             return super().run(workers=workers, on_row=on_row)

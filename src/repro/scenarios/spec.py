@@ -417,6 +417,13 @@ class ScenarioSpec:
             differential suite -- so the field is pruned from the dict
             shape while at its default and excluded from the resume
             fingerprint, like the other transparent knobs.
+        fault_plan: Serialized deterministic fault-injection plan
+            (:meth:`~repro.scenarios.faults.FaultPlan.to_dict`), or ``None``
+            (the default) for no injection.  Faults perturb *execution*,
+            never results -- a faulted sweep retries/resumes to the same
+            rows a clean sweep produces -- so the field is pruned while
+            unset and excluded from the resume fingerprint like the other
+            transparent knobs.
     """
 
     name: str
@@ -434,6 +441,7 @@ class ScenarioSpec:
     path_cache_dir: Optional[str] = None
     obs: Optional[Dict[str, object]] = None
     engine: str = "events"
+    fault_plan: Optional[Dict[str, object]] = None
 
     # -- serialization ------------------------------------------------- #
     def to_dict(self) -> Dict[str, object]:
@@ -451,6 +459,8 @@ class ScenarioSpec:
                 sub.pop("source", None)
         if data.get("engine") == "events":
             data.pop("engine", None)
+        if data.get("fault_plan") is None:
+            data.pop("fault_plan", None)
         return data
 
     @classmethod

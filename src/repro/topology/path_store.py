@@ -38,9 +38,14 @@ import ast
 import json
 import os
 import tempfile
+import zipfile
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.log import get_logger
+
+log = get_logger("repro.path_store")
 
 NodeId = Hashable
 Path = Tuple[NodeId, ...]
@@ -143,6 +148,14 @@ class PathCatalogStore:
         return catalog
 
     def _load(self, selector: str) -> Dict[Tuple[NodeId, NodeId], Tuple[int, List[Path]]]:
+        """Load one selector's catalog; a corrupt file warns and rebuilds.
+
+        Caches are derived artifacts: a truncated or damaged file (torn
+        disk, partial copy, editor accident) must cost a recomputation, not
+        a traceback mid-sweep.  The whole parse -- JSON *and* entry
+        decoding -- is guarded, since valid JSON can still carry undecodable
+        entries.
+        """
         path = self._path_for(selector)
         catalog: Dict[Tuple[NodeId, NodeId], Tuple[int, List[Path]]] = {}
         if not os.path.exists(path):
@@ -150,19 +163,31 @@ class PathCatalogStore:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+            if not isinstance(payload, dict) or (
+                payload.get("schema") != STORE_SCHEMA_VERSION
+                or payload.get("fingerprint") != self.fingerprint
+            ):
+                return catalog
+            for sender, receiver, k, raw_paths in payload.get("entries", ()):
+                pair = (_decode_node(sender), _decode_node(receiver))
+                catalog[pair] = (
+                    int(k),
+                    [tuple(_decode_node(node) for node in path) for path in raw_paths],
+                )
         except (OSError, json.JSONDecodeError):
-            return catalog
-        if (
-            payload.get("schema") != STORE_SCHEMA_VERSION
-            or payload.get("fingerprint") != self.fingerprint
-        ):
-            return catalog
-        for sender, receiver, k, raw_paths in payload.get("entries", ()):
-            pair = (_decode_node(sender), _decode_node(receiver))
-            catalog[pair] = (
-                int(k),
-                [tuple(_decode_node(node) for node in path) for path in raw_paths],
+            log.warning(
+                f"path catalog {path} is corrupt or truncated; "
+                f"ignoring it and rebuilding from scratch",
+                path=path,
             )
+            return {}
+        except (ValueError, SyntaxError, TypeError, KeyError):
+            log.warning(
+                f"path catalog {path} holds undecodable entries; "
+                f"ignoring it and rebuilding from scratch",
+                path=path,
+            )
+            return {}
         return catalog
 
     def save(self) -> None:
@@ -249,7 +274,12 @@ class HopMatrixStore:
         return os.path.join(self.directory, f"hops-{self.fingerprint}.npz")
 
     def load(self) -> Optional[Dict[NodeId, Dict[NodeId, int]]]:
-        """The cached per-source hop-count dicts, or ``None`` when absent."""
+        """The cached per-source hop-count dicts, or ``None`` when absent.
+
+        A corrupt or truncated NPZ (``BadZipFile``, damaged members,
+        undecodable node reprs) warns and returns ``None`` -- the caller
+        re-probes, same as a cache miss.
+        """
         if not os.path.exists(self.path):
             return None
         try:
@@ -257,11 +287,23 @@ class HopMatrixStore:
                 node_reprs = payload["nodes"]
                 source_rows = payload["sources"]
                 matrix = payload["matrix"]
-        except (OSError, ValueError, KeyError):
+            nodes = [_decode_node(str(text)) for text in node_reprs]
+            sources = [nodes[int(row)] for row in source_rows]
+            return hop_dicts_from_rows(nodes, sources, matrix)
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            IndexError,
+            SyntaxError,
+            zipfile.BadZipFile,
+        ):
+            log.warning(
+                f"hop-matrix cache {self.path} is corrupt or truncated; "
+                f"ignoring it and re-probing",
+                path=self.path,
+            )
             return None
-        nodes = [_decode_node(str(text)) for text in node_reprs]
-        sources = [nodes[int(row)] for row in source_rows]
-        return hop_dicts_from_rows(nodes, sources, matrix)
 
     def save(self, node_order: Sequence[NodeId], sources: Sequence[NodeId], matrix) -> None:
         """Persist one batched probe result atomically."""

@@ -27,6 +27,7 @@ and the tracker remains the last-resort cleanup if the parent is killed.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 import weakref
@@ -40,6 +41,14 @@ from repro.topology.network import PCNetwork
 
 _MAGIC = b"RPSHM1\n"
 _ALIGN = 64
+
+#: Where POSIX shared-memory segments appear as files (Linux / most BSDs).
+#: The orphan reaper scans here; platforms without it simply reap nothing.
+_SHM_DIR = "/dev/shm"
+
+#: Upper bound on the pickled header the reaper is willing to load from an
+#: unknown segment; a real topology header is a few KiB to a few MiB.
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
 
 
 def _aligned(offset: int) -> int:
@@ -96,7 +105,12 @@ class SharedArrayBlock:
 
     @classmethod
     def create(cls, arrays: Dict[str, np.ndarray], meta: dict) -> "SharedArrayBlock":
-        """Pack arrays and metadata into a fresh shared-memory segment."""
+        """Pack arrays and metadata into a fresh shared-memory segment.
+
+        The creating pid is stamped into the header (``owner_pid``) so the
+        orphan reaper can tell a segment whose owner died from one still in
+        use.
+        """
         layout: List[Tuple[str, str, Tuple[int, ...], int]] = []
         offset = 0  # relative to the data region; resolved after the header
         specs: List[np.ndarray] = []
@@ -105,7 +119,10 @@ class SharedArrayBlock:
             layout.append((key, array.dtype.str, array.shape, offset))
             specs.append(array)
             offset = _aligned(offset + array.nbytes)
-        header = pickle.dumps({"meta": meta, "layout": layout}, protocol=pickle.HIGHEST_PROTOCOL)
+        header = pickle.dumps(
+            {"meta": meta, "layout": layout, "owner_pid": os.getpid()},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         data_start = _aligned(len(_MAGIC) + 8 + len(header))
         total = max(1, data_start + offset)
         segment = shared_memory.SharedMemory(create=True, size=total)
@@ -306,3 +323,93 @@ class SharedTopologyBlock:
     def unlink(self) -> None:
         """Destroy the segment (creator side)."""
         self.block.unlink()
+
+
+# ---------------------------------------------------------------------- #
+# orphan reaping
+# ---------------------------------------------------------------------- #
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists (any owner)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's live process
+        return True
+    return True
+
+
+def _segment_owner_pid(path: str) -> Optional[int]:
+    """The ``owner_pid`` of one of *our* segments, or ``None`` if foreign.
+
+    Reads the file directly rather than attaching: attaching registers the
+    name with the resource tracker, which would then warn about (or double
+    -unlink) segments we decide to leave alone.  Anything that is not
+    magic-tagged, or whose header does not parse to our shape, is someone
+    else's memory and is never touched.
+    """
+    try:
+        with open(path, "rb") as handle:
+            if handle.read(len(_MAGIC)) != _MAGIC:
+                return None
+            raw_len = handle.read(8)
+            if len(raw_len) != 8:
+                return None
+            (header_len,) = struct.unpack("<Q", raw_len)
+            if not 0 < header_len <= _MAX_HEADER_BYTES:
+                return None
+            header = handle.read(header_len)
+            if len(header) != header_len:
+                return None
+            parsed = pickle.loads(header)
+    except (OSError, pickle.UnpicklingError, EOFError, ValueError, struct.error):
+        return None
+    if not isinstance(parsed, dict) or "owner_pid" not in parsed:
+        return None
+    try:
+        return int(parsed["owner_pid"])
+    except (TypeError, ValueError):
+        return None
+
+
+def scan_segments(shm_dir: str = _SHM_DIR) -> List[Tuple[str, int, bool]]:
+    """All magic-tagged segments: ``(name, owner_pid, owner_alive)`` triples.
+
+    Powers both the automatic sweep-start reap and the ``repro doctor``
+    report.  Returns an empty list on platforms without a ``/dev/shm``.
+    """
+    found: List[Tuple[str, int, bool]] = []
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:
+        return found
+    for name in names:
+        owner = _segment_owner_pid(os.path.join(shm_dir, name))
+        if owner is None:
+            continue
+        found.append((name, owner, _pid_alive(owner)))
+    return found
+
+
+def reap_orphan_segments(shm_dir: str = _SHM_DIR) -> List[str]:
+    """Unlink our shared-memory segments whose owner process is dead.
+
+    A runner killed with ``SIGKILL`` (OOM, operator) never reaches its
+    ``finally``/finalizer cleanup, leaving topology blocks -- potentially
+    gigabytes at xl scale -- pinned in ``/dev/shm`` machine-wide.  Only
+    segments carrying our magic tag *and* a parseable header *and* a dead
+    ``owner_pid`` are removed; everything else is left untouched.  Returns
+    the unlinked segment names.
+    """
+    reaped: List[str] = []
+    for name, _owner, alive in scan_segments(shm_dir):
+        if alive:
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:  # pragma: no cover - racing cleanup / permissions
+            continue
+        reaped.append(name)
+    return reaped

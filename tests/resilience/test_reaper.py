@@ -1,0 +1,175 @@
+"""Orphan-reaper tests: dead owners reaped, live owners left alone."""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.scenarios.runner import ScenarioRunner
+from repro.topology.generators import watts_strogatz_pcn
+from repro.topology.shared import (
+    SharedTopologyBlock,
+    _segment_owner_pid,
+    reap_orphan_segments,
+    scan_segments,
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+def tiny_network():
+    return watts_strogatz_pcn(
+        12, nearest_neighbors=4, uniform_channel_size=50.0, seed=5
+    )
+
+
+def _untrack(name):
+    """Drop the leaked segment from the resource tracker after the reap.
+
+    The dead child registered the segment with the (fork-shared) tracker;
+    once the reaper has unlinked the file the tracker's record is stale and
+    would only produce shutdown noise.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _export_and_die(conn):
+    """Child: export a topology block, report its name, die without cleanup.
+
+    SIGKILL on itself models an OOM-killed runner: no ``finally``, no
+    ``weakref.finalize``, the segment simply leaks.
+    """
+    block = SharedTopologyBlock.from_network(tiny_network())
+    conn.send(block.name)
+    conn.close()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def leak_segment():
+    """Create an orphaned segment (dead owner) and return its name."""
+    ctx = multiprocessing.get_context("fork")
+    receive, send = ctx.Pipe(duplex=False)
+    child = ctx.Process(target=_export_and_die, args=(send,))
+    child.start()
+    send.close()
+    name = receive.recv()
+    child.join(timeout=30)
+    receive.close()
+    return name
+
+
+class TestReaper:
+    def test_dead_owner_segment_is_reaped(self):
+        name = leak_segment()
+        path = os.path.join("/dev/shm", name)
+        assert os.path.exists(path)
+        entries = {entry[0]: entry for entry in scan_segments()}
+        assert name in entries
+        _seg, owner, alive = entries[name]
+        assert not alive
+        reaped = reap_orphan_segments()
+        _untrack(name)
+        assert name in reaped
+        assert not os.path.exists(path)
+        # Idempotent: nothing left to reap.
+        assert name not in reap_orphan_segments()
+
+    def test_live_owner_segment_is_left_alone(self):
+        block = SharedTopologyBlock.from_network(tiny_network())
+        try:
+            entries = {entry[0]: entry for entry in scan_segments()}
+            assert entries[block.name][2] is True  # owner (us) is alive
+            assert block.name not in reap_orphan_segments()
+            assert os.path.exists(os.path.join("/dev/shm", block.name))
+        finally:
+            block.unlink()
+
+    def test_foreign_files_are_never_touched(self, tmp_path):
+        foreign = tmp_path / "not-a-segment"
+        foreign.write_bytes(b"some other program's data")
+        assert _segment_owner_pid(str(foreign)) is None
+        truncated = tmp_path / "truncated"
+        truncated.write_bytes(b"RPSHM1\n\x00\x01")  # magic but torn header
+        assert _segment_owner_pid(str(truncated)) is None
+
+    def test_owner_pid_stamped_in_header(self):
+        block = SharedTopologyBlock.from_network(tiny_network())
+        try:
+            assert (
+                _segment_owner_pid(os.path.join("/dev/shm", block.name)) == os.getpid()
+            )
+        finally:
+            block.unlink()
+
+
+def _export_partial_sweep_and_die(conn, spec_dict, results_dir):
+    """Child: start a shared-topology sweep, die between export and attach.
+
+    Models a runner killed after building the shared block but before any
+    worker attached: the block leaks, the results file holds a torn line.
+    """
+    from repro.scenarios.spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    runner = ScenarioRunner(
+        spec, results_dir=results_dir, workers=2, shared_topology=True
+    )
+    runner._export_shared_blocks()
+    os.makedirs(results_dir, exist_ok=True)
+    with open(runner.results_path, "w") as handle:
+        handle.write('{"run_key": "torn')  # mid-write kill
+    conn.send([block.name for block in runner._shared_blocks.values()])
+    conn.close()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestKillBetweenExportAndAttach:
+    def test_resume_reaps_and_completes(self, tmp_path):
+        """The xl-path crash window: export done, workers not yet attached.
+
+        The rerun must (1) reap the dead runner's segments at sweep start,
+        (2) newline-terminate the torn results line, and (3) produce rows
+        identical to a never-crashed shared-topology sweep.
+        """
+        from repro.scenarios.registry import build_comparison_spec
+
+        spec = build_comparison_spec(
+            "small", ["shortest-path", "landmark"], seeds=[1], duration=1.0, nodes=16
+        )
+        crashed_dir = str(tmp_path / "crashed")
+        ctx = multiprocessing.get_context("fork")
+        receive, send = ctx.Pipe(duplex=False)
+        child = ctx.Process(
+            target=_export_partial_sweep_and_die,
+            args=(send, spec.to_dict(), crashed_dir),
+        )
+        child.start()
+        send.close()
+        leaked = receive.recv()
+        child.join(timeout=60)
+        receive.close()
+        assert leaked
+        for name in leaked:
+            assert os.path.exists(os.path.join("/dev/shm", name))
+
+        resumed = ScenarioRunner(
+            spec, results_dir=crashed_dir, workers=2, shared_topology=True
+        ).run()
+        for name in leaked:
+            _untrack(name)
+            assert not os.path.exists(os.path.join("/dev/shm", name))
+        clean = ScenarioRunner(
+            spec, results_dir=str(tmp_path / "clean"), workers=2, shared_topology=True
+        ).run()
+        assert resumed.executed == clean.executed == 2
+        assert sorted(map(repr, resumed.rows)) == sorted(map(repr, clean.rows))
+        # And nothing of ours leaked from the resumed sweep either.
+        assert all(alive for _name, _owner, alive in scan_segments())
