@@ -683,8 +683,8 @@ def _command_run(args: argparse.Namespace) -> int:
     report = runner.run(on_row=progress)
     elapsed = time.perf_counter() - started
     log.info(
-        f"executed {report.executed} run(s), skipped {report.skipped} already-completed, "
-        f"in {elapsed:.1f}s",
+        f"executed {report.executed} run(s), skipped {report.skipped} already-completed "
+        f"or quarantined, in {elapsed:.1f}s",
         executed=report.executed,
         skipped=report.skipped,
         seconds=round(elapsed, 3),
@@ -820,7 +820,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         elapsed = time.perf_counter() - started
         log.info(
             f"executed {report.executed} run(s), skipped {report.skipped} "
-            f"already-completed, in {elapsed:.1f}s",
+            f"already-completed or quarantined, in {elapsed:.1f}s",
             executed=report.executed,
             skipped=report.skipped,
             seconds=round(elapsed, 3),
@@ -936,7 +936,7 @@ def _command_place_compare(args: argparse.Namespace) -> int:
         elapsed = time.perf_counter() - started
         log.info(
             f"executed {report.executed} run(s), skipped {report.skipped} "
-            f"already-completed, in {elapsed:.1f}s",
+            f"already-completed or quarantined, in {elapsed:.1f}s",
             executed=report.executed,
             skipped=report.skipped,
             seconds=round(elapsed, 3),

@@ -181,7 +181,10 @@ class GridRunReport:
     ``rows`` holds only successful result rows; failure rows captured this
     invocation land in ``failures``, keys skipped or newly written to the
     quarantine file in ``quarantined``, and ``retries``/``corrupt_lines``
-    surface how much resilience machinery actually fired.
+    surface how much resilience machinery actually fired.  ``skipped``
+    counts every grid key not dispatched this invocation -- previously
+    completed *plus* quarantine-skipped -- so ``executed + skipped`` always
+    covers the full grid when no new failure occurs.
     """
 
     name: str
@@ -196,7 +199,7 @@ class GridRunReport:
 
     @property
     def total(self) -> int:
-        """All runs of the grid (executed now plus previously completed)."""
+        """All covered runs: executed now, previously completed, quarantined."""
         return self.executed + self.skipped
 
 
@@ -506,7 +509,6 @@ class JsonlGridRunner:
         worker_count = self.workers if workers is None else workers
         entries = self.pending_entries()
         expected = self.expected_keys()
-        skipped = len(expected) - len(entries)
         execute = self.executor()
         plan = self.fault_plan or FaultPlan.from_env()
         os.makedirs(self.results_dir, exist_ok=True)
@@ -520,6 +522,9 @@ class JsonlGridRunner:
                 f"(see {self.quarantine_path})",
                 quarantined=len(blocked),
             )
+        # Counted after the quarantine filter so quarantine-skipped keys
+        # land in ``skipped`` and ``executed + skipped`` covers the grid.
+        skipped = len(expected) - len(entries)
 
         fresh_rows: List[Dict[str, object]] = []
         failures: List[Dict[str, object]] = []

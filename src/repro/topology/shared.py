@@ -39,20 +39,55 @@ import numpy as np
 from repro.topology.channel import PaymentChannel
 from repro.topology.network import PCNetwork
 
-_MAGIC = b"RPSHM1\n"
+#: Magic version 2: the fixed owner stamp below sits between the magic and
+#: the pickled header, so the orphan reaper can identify (and validate) a
+#: segment without ever unpickling foreign bytes.
+_MAGIC = b"RPSHM2\n"
 _ALIGN = 64
+
+#: Fixed binary owner stamp right after the magic:
+#: ``owner_pid``, ``owner_start_ticks`` (process start time from
+#: ``/proc/<pid>/stat``, 0 when unavailable) and the pickled header length.
+#: Everything the reaper reads from an unknown file lives in this stamp --
+#: pure ``struct`` fields, never pickle.
+_OWNER_STAMP = struct.Struct("<QQQ")
 
 #: Where POSIX shared-memory segments appear as files (Linux / most BSDs).
 #: The orphan reaper scans here; platforms without it simply reap nothing.
 _SHM_DIR = "/dev/shm"
 
-#: Upper bound on the pickled header the reaper is willing to load from an
-#: unknown segment; a real topology header is a few KiB to a few MiB.
+#: Upper bound on a plausible pickled-header length in the owner stamp; a
+#: real topology header is a few KiB to a few MiB.  Stamps outside this
+#: range mark the file as foreign.
 _MAX_HEADER_BYTES = 64 * 1024 * 1024
 
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _proc_start_ticks(pid: int) -> Optional[int]:
+    """Process start time in clock ticks (``/proc/<pid>/stat`` field 22).
+
+    The (pid, start time) pair identifies a process even after the bare pid
+    has been recycled.  Returns ``None`` on platforms without ``/proc`` or
+    when the process is gone.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+    except OSError:
+        return None
+    # comm (field 2) is parenthesised and may contain spaces or parens;
+    # the space-separated fields resume after the *last* ')'.
+    end = stat.rfind(b")")
+    if end < 0:
+        return None
+    fields = stat[end + 2 :].split()
+    try:
+        return int(fields[19])  # field 22 overall; state (field 3) is fields[0]
+    except (IndexError, ValueError):
+        return None
 
 
 def _unlink_segment(name: str) -> None:
@@ -77,7 +112,8 @@ def _unlink_segment(name: str) -> None:
 class SharedArrayBlock:
     """One shared-memory segment holding named read-only arrays plus metadata.
 
-    Layout: magic, an 8-byte little-endian header length, a pickled header
+    Layout: magic, the fixed little-endian owner stamp (owner pid, owner
+    start ticks, header length -- see ``_OWNER_STAMP``), a pickled header
     (metadata and per-array dtype/shape/offset), then 64-byte-aligned array
     payloads.  Attached views are numpy arrays with ``writeable=False`` --
     the read-only contract workers operate under.
@@ -107,9 +143,11 @@ class SharedArrayBlock:
     def create(cls, arrays: Dict[str, np.ndarray], meta: dict) -> "SharedArrayBlock":
         """Pack arrays and metadata into a fresh shared-memory segment.
 
-        The creating pid is stamped into the header (``owner_pid``) so the
-        orphan reaper can tell a segment whose owner died from one still in
-        use.
+        The creating process's identity -- pid plus ``/proc`` start time,
+        which together survive pid recycling -- is stamped into the fixed
+        binary field after the magic, so the orphan reaper can tell a
+        segment whose owner died from one still in use without parsing the
+        pickled header.
         """
         layout: List[Tuple[str, str, Tuple[int, ...], int]] = []
         offset = 0  # relative to the data region; resolved after the header
@@ -120,16 +158,20 @@ class SharedArrayBlock:
             specs.append(array)
             offset = _aligned(offset + array.nbytes)
         header = pickle.dumps(
-            {"meta": meta, "layout": layout, "owner_pid": os.getpid()},
+            {"meta": meta, "layout": layout},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        data_start = _aligned(len(_MAGIC) + 8 + len(header))
+        prefix = len(_MAGIC) + _OWNER_STAMP.size
+        data_start = _aligned(prefix + len(header))
         total = max(1, data_start + offset)
+        pid = os.getpid()
         segment = shared_memory.SharedMemory(create=True, size=total)
         buf = segment.buf
         buf[: len(_MAGIC)] = _MAGIC
-        struct.pack_into("<Q", buf, len(_MAGIC), len(header))
-        buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + len(header)] = header
+        _OWNER_STAMP.pack_into(
+            buf, len(_MAGIC), pid, _proc_start_ticks(pid) or 0, len(header)
+        )
+        buf[prefix : prefix + len(header)] = header
         views: Dict[str, np.ndarray] = {}
         for (key, dtype, shape, rel_offset), array in zip(layout, specs):
             view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=data_start + rel_offset)
@@ -146,9 +188,10 @@ class SharedArrayBlock:
         if bytes(buf[: len(_MAGIC)]) != _MAGIC:
             segment.close()
             raise ValueError(f"segment {name!r} is not a shared array block")
-        (header_len,) = struct.unpack_from("<Q", buf, len(_MAGIC))
-        header = pickle.loads(bytes(buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + header_len]))
-        data_start = _aligned(len(_MAGIC) + 8 + header_len)
+        _pid, _ticks, header_len = _OWNER_STAMP.unpack_from(buf, len(_MAGIC))
+        prefix = len(_MAGIC) + _OWNER_STAMP.size
+        header = pickle.loads(bytes(buf[prefix : prefix + header_len]))
+        data_start = _aligned(prefix + header_len)
         views: Dict[str, np.ndarray] = {}
         for key, dtype, shape, rel_offset in header["layout"]:
             view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=data_start + rel_offset)
@@ -328,50 +371,67 @@ class SharedTopologyBlock:
 # ---------------------------------------------------------------------- #
 # orphan reaping
 # ---------------------------------------------------------------------- #
-def _pid_alive(pid: int) -> bool:
-    """Whether a process with this pid currently exists (any owner)."""
+def _owner_alive(pid: int, start_ticks: int) -> bool:
+    """Whether the stamped owner process still exists.
+
+    A bare pid is not enough: a dead runner's pid recycled by an unrelated
+    process would keep its orphaned segment pinned forever.  When the stamp
+    carries the owner's start time, the current occupant of the pid must
+    match it too -- a mismatch means the pid was recycled and the owner is
+    dead.  A zero ``start_ticks`` (no ``/proc`` at create time) falls back
+    to the pid-existence check alone.
+    """
     if pid <= 0:
         return False
     try:
         os.kill(pid, 0)
     except ProcessLookupError:
         return False
-    except PermissionError:  # pragma: no cover - someone else's live process
-        return True
+    except PermissionError:  # the pid exists but belongs to another user
+        pass
+    if start_ticks:
+        current = _proc_start_ticks(pid)
+        if current is not None and current != start_ticks:
+            return False  # pid recycled by an unrelated process
     return True
 
 
-def _segment_owner_pid(path: str) -> Optional[int]:
-    """The ``owner_pid`` of one of *our* segments, or ``None`` if foreign.
+def _segment_owner(path: str) -> Optional[Tuple[int, int]]:
+    """The ``(owner_pid, owner_start_ticks)`` stamp of one of *our* segments.
 
-    Reads the file directly rather than attaching: attaching registers the
-    name with the resource tracker, which would then warn about (or double
-    -unlink) segments we decide to leave alone.  Anything that is not
-    magic-tagged, or whose header does not parse to our shape, is someone
-    else's memory and is never touched.
+    Returns ``None`` for anything foreign.  Reads the file directly rather
+    than attaching: attaching registers the name with the resource tracker,
+    which would then warn about (or double-unlink) segments we decide to
+    leave alone.
+
+    ``/dev/shm`` is world-writable, so any local user can plant a file with
+    our magic: only the *fixed struct-packed* stamp is ever parsed -- an
+    unknown file's bytes never reach ``pickle`` -- and files not owned by
+    our own uid are rejected outright before reading a byte.
     """
     try:
+        if os.stat(path).st_uid != os.getuid():
+            return None
         with open(path, "rb") as handle:
             if handle.read(len(_MAGIC)) != _MAGIC:
                 return None
-            raw_len = handle.read(8)
-            if len(raw_len) != 8:
+            raw = handle.read(_OWNER_STAMP.size)
+            if len(raw) != _OWNER_STAMP.size:
                 return None
-            (header_len,) = struct.unpack("<Q", raw_len)
-            if not 0 < header_len <= _MAX_HEADER_BYTES:
-                return None
-            header = handle.read(header_len)
-            if len(header) != header_len:
-                return None
-            parsed = pickle.loads(header)
-    except (OSError, pickle.UnpicklingError, EOFError, ValueError, struct.error):
+            pid, start_ticks, header_len = _OWNER_STAMP.unpack(raw)
+    except (OSError, AttributeError, struct.error):
         return None
-    if not isinstance(parsed, dict) or "owner_pid" not in parsed:
+    if not 0 < header_len <= _MAX_HEADER_BYTES:
         return None
-    try:
-        return int(parsed["owner_pid"])
-    except (TypeError, ValueError):
+    if not 0 < pid < 2**31:
         return None
+    return int(pid), int(start_ticks)
+
+
+def _segment_owner_pid(path: str) -> Optional[int]:
+    """The stamped ``owner_pid`` of one of *our* segments, or ``None``."""
+    owner = _segment_owner(path)
+    return owner[0] if owner is not None else None
 
 
 def scan_segments(shm_dir: str = _SHM_DIR) -> List[Tuple[str, int, bool]]:
@@ -386,10 +446,11 @@ def scan_segments(shm_dir: str = _SHM_DIR) -> List[Tuple[str, int, bool]]:
     except OSError:
         return found
     for name in names:
-        owner = _segment_owner_pid(os.path.join(shm_dir, name))
+        owner = _segment_owner(os.path.join(shm_dir, name))
         if owner is None:
             continue
-        found.append((name, owner, _pid_alive(owner)))
+        pid, start_ticks = owner
+        found.append((name, pid, _owner_alive(pid, start_ticks)))
     return found
 
 
@@ -399,9 +460,10 @@ def reap_orphan_segments(shm_dir: str = _SHM_DIR) -> List[str]:
     A runner killed with ``SIGKILL`` (OOM, operator) never reaches its
     ``finally``/finalizer cleanup, leaving topology blocks -- potentially
     gigabytes at xl scale -- pinned in ``/dev/shm`` machine-wide.  Only
-    segments carrying our magic tag *and* a parseable header *and* a dead
-    ``owner_pid`` are removed; everything else is left untouched.  Returns
-    the unlinked segment names.
+    files owned by our uid, carrying our magic tag *and* a plausible owner
+    stamp *and* whose stamped owner (pid plus start time) is dead are
+    removed; everything else is left untouched.  Returns the unlinked
+    segment names.
     """
     reaped: List[str] = []
     for name, _owner, alive in scan_segments(shm_dir):

@@ -9,7 +9,10 @@ import pytest
 from repro.scenarios.runner import ScenarioRunner
 from repro.topology.generators import watts_strogatz_pcn
 from repro.topology.shared import (
+    _MAGIC,
+    _OWNER_STAMP,
     SharedTopologyBlock,
+    _proc_start_ticks,
     _segment_owner_pid,
     reap_orphan_segments,
     scan_segments,
@@ -97,7 +100,7 @@ class TestReaper:
         foreign.write_bytes(b"some other program's data")
         assert _segment_owner_pid(str(foreign)) is None
         truncated = tmp_path / "truncated"
-        truncated.write_bytes(b"RPSHM1\n\x00\x01")  # magic but torn header
+        truncated.write_bytes(_MAGIC + b"\x00\x01")  # magic but torn stamp
         assert _segment_owner_pid(str(truncated)) is None
 
     def test_owner_pid_stamped_in_header(self):
@@ -108,6 +111,54 @@ class TestReaper:
             )
         finally:
             block.unlink()
+
+    def test_scan_never_unpickles(self, tmp_path, monkeypatch):
+        """A planted magic-tagged file must not reach pickle.
+
+        /dev/shm is world-writable: any local user can drop a file carrying
+        our magic whose body is a malicious pickle.  The scanner reads only
+        the fixed struct stamp, so the payload is inert.
+        """
+        payload = b"cos\nsystem\n(S'true'\ntR."  # classic pickle-RCE shape
+        planted = tmp_path / "planted"
+        planted.write_bytes(_MAGIC + _OWNER_STAMP.pack(1, 0, len(payload)) + payload)
+
+        import pickle as _pickle
+
+        def poisoned_loads(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("scanner called pickle.loads on a scanned file")
+
+        monkeypatch.setattr(_pickle, "loads", poisoned_loads)
+        entries = {entry[0]: entry for entry in scan_segments(str(tmp_path))}
+        # The stamp parses without touching the payload; pid 1 (init) is
+        # alive, so nothing is reaped either.
+        assert entries["planted"][1] == 1
+        assert reap_orphan_segments(str(tmp_path)) == []
+
+    def test_recycled_pid_counts_as_dead(self, tmp_path):
+        """A live pid with a mismatched start time is a recycled pid.
+
+        Without the start-time stamp a dead runner whose pid was reused by
+        an unrelated process would pin its orphaned segment forever.
+        """
+        our_pid = os.getpid()
+        our_ticks = _proc_start_ticks(our_pid)
+        if our_ticks is None:
+            pytest.skip("no /proc start-time on this platform")
+        recycled = tmp_path / "recycled"
+        recycled.write_bytes(
+            _MAGIC + _OWNER_STAMP.pack(our_pid, our_ticks + 12345, 1) + b"x"
+        )
+        current = tmp_path / "current"
+        current.write_bytes(
+            _MAGIC + _OWNER_STAMP.pack(our_pid, our_ticks, 1) + b"x"
+        )
+        alive_by_name = {
+            name: alive for name, _owner, alive in scan_segments(str(tmp_path))
+        }
+        assert alive_by_name == {"recycled": False, "current": True}
+        assert reap_orphan_segments(str(tmp_path)) == ["recycled"]
+        assert current.exists() and not recycled.exists()
 
 
 def _export_partial_sweep_and_die(conn, spec_dict, results_dir):

@@ -127,6 +127,10 @@ class TestQuarantine:
         resumed = runner2.run()
         assert resumed.executed == 0
         assert resumed.quarantined == [KEYS[0]]
+        # Quarantine-skipped keys count as skipped, so the report still
+        # covers the whole grid: executed + skipped == len(KEYS).
+        assert resumed.skipped == len(KEYS)
+        assert resumed.total == len(KEYS)
 
     def test_doctor_clears_quarantine_and_resume_reruns(self, toy_runner_cls, tmp_path, capsys):
         plan = FaultPlan([FaultDirective(action="raise", shard=0, attempts=(0, 1))])
